@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the simulation substrate: the event
+//! calendar, the random streams, the fading channel and the CSI estimator.
+//! These bound the per-frame cost of the platform itself, independent of any
+//! MAC protocol.
+
+use charisma::des::{EventQueue, RngStreams, Sampler, SimDuration, SimTime, StreamId};
+use charisma::phy::{AdaptivePhy, Phy};
+use charisma::radio::{ChannelConfig, CombinedChannel, Mobility};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for i in 0..10_000u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.schedule(SimTime::from_micros(x % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((t, _)) = q.pop() {
+                acc = acc.wrapping_add(t.as_micros());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng_streams(c: &mut Criterion) {
+    let streams = RngStreams::new(42);
+    c.bench_function("rng_derive_1k_streams", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u32 {
+                acc ^= streams.derive_seed(StreamId::new(StreamId::DOMAIN_CHANNEL, i));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("sampler_exponential_100k", |b| {
+        let mut rng = streams.stream(StreamId::new(StreamId::DOMAIN_VOICE, 0));
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += Sampler::exponential(&mut rng, 1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let streams = RngStreams::new(7);
+    c.bench_function("channel_advance_one_second_of_frames", |b| {
+        b.iter(|| {
+            let mut ch = CombinedChannel::new(
+                ChannelConfig::default(),
+                Mobility::new(50.0),
+                streams.stream(StreamId::new(StreamId::DOMAIN_CHANNEL, 1)),
+            );
+            let mut t = SimTime::ZERO;
+            let mut acc = 0.0;
+            for _ in 0..400 {
+                t = t + SimDuration::from_micros(2_500);
+                acc += ch.snr_db_at(t);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_phy(c: &mut Criterion) {
+    let phy = AdaptivePhy::default();
+    c.bench_function("abicm_mode_selection_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut snr = -20.0;
+            for _ in 0..100_000 {
+                snr += 0.001;
+                acc += phy.packets_per_slot(black_box(snr));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(engine, bench_event_queue, bench_rng_streams, bench_channel, bench_phy);
+criterion_main!(engine);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the six MAC protocols: the wall-clock cost of
+//! simulating one second of system time (400 frames) at a representative
+//! mixed load.  This is the number that determines how long the Fig. 11–13
+//! sweeps take and how the simulator scales with the user population.
+
+use charisma::{ProtocolKind, Scenario, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn scenario_config(num_voice: u32, num_data: u32) -> SimConfig {
+    let mut cfg = SimConfig::default_paper();
+    cfg.num_voice = num_voice;
+    cfg.num_data = num_data;
+    cfg.warmup_frames = 0;
+    cfg.measured_frames = 400; // one simulated second
+    cfg
+}
+
+fn bench_protocols_one_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_second_60v_10d");
+    for protocol in ProtocolKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(protocol.label()), &protocol, |b, &p| {
+            let scenario = Scenario::new(scenario_config(60, 10));
+            b.iter(|| black_box(scenario.run(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_charisma_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charisma_scaling_voice_users");
+    for &num_voice in &[20u32, 80, 160] {
+        group.bench_with_input(BenchmarkId::from_parameter(num_voice), &num_voice, |b, &nv| {
+            let scenario = Scenario::new(scenario_config(nv, 0));
+            b.iter(|| black_box(scenario.run(ProtocolKind::Charisma)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = protocols;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols_one_second, bench_charisma_scaling
+}
+criterion_main!(protocols);

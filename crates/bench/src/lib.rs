@@ -1,0 +1,186 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Every evaluation artifact of the paper has its own binary in `src/bin/`:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — simulation parameters |
+//! | `fig5_fading` | Fig. 5 — sample of the combined fading process |
+//! | `fig7_abicm` | Fig. 7 — ABICM BER / throughput vs CSI |
+//! | `fig11` | Fig. 11(a)–(f) — voice packet loss vs voice users |
+//! | `fig12` | Fig. 12(a)–(f) — data throughput vs data users |
+//! | `fig13` | Fig. 13(a)–(f) — data delay vs data users |
+//! | `capacity_table` | §5.1 capacities at the 1 % loss threshold |
+//! | `qos_capacity` | §5.2 (delay ≤ 1 s, 0.25 pkt/frame) QoS capacities |
+//! | `speed_sweep` | §5.3.3 mobile-speed sensitivity |
+//! | `ablation_csi` | §5.3.1/5.3.2 ablation: CHARISMA without CSI awareness |
+//!
+//! Each binary prints an aligned text table (the "rows/series the paper
+//! reports") and writes a CSV under `results/` for plotting.  Set
+//! `CHARISMA_BENCH_PROFILE=quick|full` to trade accuracy for runtime
+//! (default: `standard`).
+
+use charisma::{ProtocolKind, SimConfig};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How long each sweep point simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchProfile {
+    /// ~10 simulated seconds per point: smoke-test quality, minutes overall.
+    Quick,
+    /// ~40 simulated seconds per point (default).
+    Standard,
+    /// ~100 simulated seconds per point: paper-quality curves.
+    Full,
+}
+
+impl BenchProfile {
+    /// Reads the profile from `CHARISMA_BENCH_PROFILE`.
+    pub fn from_env() -> Self {
+        match std::env::var("CHARISMA_BENCH_PROFILE").unwrap_or_default().to_lowercase().as_str() {
+            "quick" => BenchProfile::Quick,
+            "full" => BenchProfile::Full,
+            _ => BenchProfile::Standard,
+        }
+    }
+
+    /// Number of measured frames per sweep point.
+    pub fn measured_frames(self) -> u64 {
+        match self {
+            BenchProfile::Quick => 4_000,
+            BenchProfile::Standard => 16_000,
+            BenchProfile::Full => 40_000,
+        }
+    }
+
+    /// Number of warm-up frames per sweep point.
+    pub fn warmup_frames(self) -> u64 {
+        match self {
+            BenchProfile::Quick => 800,
+            BenchProfile::Standard => 2_000,
+            BenchProfile::Full => 4_000,
+        }
+    }
+}
+
+/// The base configuration shared by every experiment binary: the paper's
+/// Table 1 parameters with the run length set by the bench profile.
+pub fn base_config(profile: BenchProfile) -> SimConfig {
+    let mut cfg = SimConfig::default_paper();
+    cfg.warmup_frames = profile.warmup_frames();
+    cfg.measured_frames = profile.measured_frames();
+    cfg
+}
+
+/// The directory where CSV outputs are written (`results/`, created on
+/// demand next to the workspace root or the current directory).
+pub fn output_dir() -> PathBuf {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {dir:?}: {e}");
+    }
+    dir.to_path_buf()
+}
+
+/// Writes a CSV file under [`output_dir`]; returns the path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = output_dir().join(name);
+    match fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for row in rows {
+                let _ = writeln!(f, "{row}");
+            }
+            println!("wrote {}", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
+/// The voice-user sweep used by Fig. 11 for the given profile.
+pub fn fig11_voice_counts(profile: BenchProfile) -> Vec<u32> {
+    match profile {
+        BenchProfile::Quick => vec![20, 60, 100, 140, 180],
+        _ => vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
+    }
+}
+
+/// The data-user sweep used by Figs. 12 and 13 for the given profile.
+pub fn fig12_data_counts(profile: BenchProfile) -> Vec<u32> {
+    match profile {
+        BenchProfile::Quick => vec![2, 6, 10, 14, 20],
+        _ => vec![2, 4, 6, 8, 10, 12, 14, 16, 20, 24],
+    }
+}
+
+/// The (fixed other-class population, request queue) panels of Figs. 11–13:
+/// the paper's sub-figures (a)–(f).
+pub fn figure_panels() -> Vec<(u32, bool, &'static str)> {
+    vec![
+        (0, false, "(a) without request queue"),
+        (0, true, "(b) with request queue"),
+        (10, false, "(c) without request queue"),
+        (10, true, "(d) with request queue"),
+        (20, false, "(e) without request queue"),
+        (20, true, "(f) with request queue"),
+    ]
+}
+
+/// Formats a protocol row of a sweep table.
+pub fn format_row(label: &str, values: &[f64], formatter: impl Fn(f64) -> String) -> String {
+    let mut row = format!("{label:<12}");
+    for &v in values {
+        row.push_str(&format!("{:>10}", formatter(v)));
+    }
+    row
+}
+
+/// Formats a sweep table header.
+pub fn format_header(first: &str, loads: &[u32]) -> String {
+    let mut h = format!("{first:<12}");
+    for l in loads {
+        h.push_str(&format!("{l:>10}"));
+    }
+    h
+}
+
+/// All six protocols in the paper's listing order.
+pub fn all_protocols() -> [ProtocolKind; 6] {
+    ProtocolKind::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_scale_run_length() {
+        assert!(BenchProfile::Quick.measured_frames() < BenchProfile::Standard.measured_frames());
+        assert!(BenchProfile::Standard.measured_frames() < BenchProfile::Full.measured_frames());
+    }
+
+    #[test]
+    fn base_config_is_valid_for_every_profile() {
+        for p in [BenchProfile::Quick, BenchProfile::Standard, BenchProfile::Full] {
+            base_config(p).validate();
+        }
+    }
+
+    #[test]
+    fn figure_panels_match_the_papers_six_subfigures() {
+        let panels = figure_panels();
+        assert_eq!(panels.len(), 6);
+        assert_eq!(panels.iter().filter(|(_, q, _)| *q).count(), 3);
+        assert_eq!(panels.iter().filter(|(n, _, _)| *n == 0).count(), 2);
+    }
+
+    #[test]
+    fn table_formatting_is_aligned() {
+        let header = format_header("protocol", &[20, 40]);
+        let row = format_row("CHARISMA", &[0.001, 0.01], |v| format!("{:.2}%", v * 100.0));
+        assert_eq!(header.len(), row.len());
+    }
+}

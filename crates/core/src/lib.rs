@@ -1,0 +1,61 @@
+//! # charisma — channel-adaptive uplink access control
+//!
+//! A from-scratch reproduction of the CHARISMA protocol and its evaluation
+//! platform from
+//!
+//! > Y.-K. Kwok and V. K. N. Lau, *"A Novel Channel-Adaptive Uplink Access
+//! > Control Protocol for Nomadic Computing"*, ICPP 2000 / IEEE TPDS 13(11),
+//! > 2002.
+//!
+//! The crate provides:
+//!
+//! * the six uplink MAC protocols the paper compares — CHARISMA, D-TDMA/FR,
+//!   D-TDMA/VR, RAMA, RMAV and DRMA — behind one [`protocols::UplinkMac`]
+//!   trait;
+//! * the common simulation platform: the terminal population
+//!   ([`terminal::Terminal`]), the per-frame execution environment
+//!   ([`world::FrameWorld`]) and the scenario runner ([`scenario::Scenario`]);
+//! * the scenario configuration ([`config::SimConfig`]) encoding the paper's
+//!   Table 1 parameters; and
+//! * multi-threaded parameter sweeps ([`sweep`]) used by the benchmark
+//!   harness to regenerate every figure of the evaluation section.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use charisma::{ProtocolKind, Scenario, SimConfig};
+//!
+//! // 20 voice terminals, 2 data terminals, short measurement window.
+//! let mut config = SimConfig::quick_test();
+//! config.num_voice = 20;
+//! config.num_data = 2;
+//!
+//! let scenario = Scenario::new(config);
+//! let report = scenario.run(ProtocolKind::Charisma);
+//! println!("{}", report.summary());
+//! assert!(report.voice_loss_rate() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod protocols;
+pub mod scenario;
+pub mod sweep;
+pub mod terminal;
+pub mod world;
+
+pub use config::{CharismaParams, ContentionConfig, FrameStructure, SimConfig};
+pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
+pub use scenario::{RunReport, Scenario};
+pub use sweep::{data_load_sweep, run_sweep, voice_load_sweep, SweepPoint, SweepResult};
+pub use terminal::{FrameTraffic, Terminal};
+pub use world::{DataTx, FrameWorld, LinkAdaptation, VoiceTx};
+
+// Re-export the substrate crates so downstream users need only one dependency.
+pub use charisma_des as des;
+pub use charisma_metrics as metrics;
+pub use charisma_phy as phy;
+pub use charisma_radio as radio;
+pub use charisma_traffic as traffic;

@@ -1,0 +1,341 @@
+//! CHARISMA — CHannel Adaptive Reservation-based ISochronous Multiple Access
+//! (paper Section 4).
+//!
+//! CHARISMA departs from the baselines in one structural way: instead of
+//! assigning information slots immediately as each request is acknowledged,
+//! the base station first *gathers* every request of the frame — new
+//! contention winners, base-station-generated requests for reserved voice
+//! terminals, and (with the request queue) backlogged requests from earlier
+//! frames — and only then allocates the `N_i` information slots in order of a
+//! priority that blends three ingredients (paper eq. (2)):
+//!
+//! * the **throughput** the terminal's estimated CSI supports (good channels
+//!   are served first because they use the slots more efficiently),
+//! * the **urgency** of the request (a voice packet close to its 20 ms
+//!   deadline, or a data request that has waited a long time), and
+//! * the **service class** (a fixed voice-over-data priority offset).
+//!
+//! Requests whose CSI estimate has gone stale are refreshed through the
+//! poll-for-CSI / pilot-symbol subframes (`N_b` polls per frame), highest
+//! priority first — the CSI-refresh mechanism of Section 4.4.  Terminals in
+//! outage are deferred rather than scheduled, which is where the protocol's
+//! selection-diversity gain comes from (Section 5.3.2).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::{CharismaParams, SimConfig};
+use crate::protocols::common;
+use crate::protocols::{ProtocolKind, UplinkMac};
+use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
+use charisma_des::SimTime;
+use charisma_phy::Phy;
+use charisma_radio::CsiEstimate;
+use charisma_traffic::{TerminalClass, TerminalId};
+
+/// One gathered request awaiting allocation at the base station.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    terminal: TerminalId,
+    class: TerminalClass,
+    /// Most recent CSI estimate the base station holds for this terminal.
+    csi: CsiEstimate,
+    /// Frame at which the request was acknowledged (for the waiting term).
+    acked_frame: u64,
+}
+
+/// The CHARISMA protocol.
+#[derive(Debug, Clone)]
+pub struct Charisma {
+    params: CharismaParams,
+    queue_enabled: bool,
+    queue_capacity: usize,
+    reservations: HashSet<TerminalId>,
+    /// Gathered requests (this frame's and, with the queue, earlier frames').
+    backlog: Vec<Entry>,
+    /// Last CSI estimate obtained for each terminal (from request pilots,
+    /// CSI polling, or earlier frames).
+    last_csi: HashMap<TerminalId, CsiEstimate>,
+}
+
+impl Charisma {
+    /// Builds CHARISMA for a scenario configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        config.charisma.validate();
+        Charisma {
+            params: config.charisma,
+            queue_enabled: config.request_queue,
+            queue_capacity: config.request_queue_capacity,
+            reservations: HashSet::new(),
+            backlog: Vec::new(),
+            last_csi: HashMap::new(),
+        }
+    }
+
+    /// Number of terminals currently holding a voice reservation.
+    pub fn active_reservations(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Number of requests currently gathered at the base station.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// The priority metric of eq. (2), as implemented (see the crate-level
+    /// documentation of [`crate::config::CharismaParams`]).
+    fn priority(&self, world: &FrameWorld<'_>, entry: &Entry) -> f64 {
+        let p = &self.params;
+        let f_csi = if p.csi_aware {
+            world.adaptive_phy().packets_per_slot(entry.csi.snr_db)
+        } else {
+            1.0
+        };
+        match entry.class {
+            TerminalClass::Voice => {
+                let deadline = world
+                    .terminal(entry.terminal)
+                    .earliest_voice_deadline()
+                    .unwrap_or(SimTime::FAR_FUTURE);
+                let frames_left = deadline
+                    .saturating_duration_since(world.now)
+                    .div_duration(world.clock.frame_duration())
+                    .min(64) as i32;
+                p.alpha_voice * f_csi
+                    + p.urgency_weight * p.beta_voice.powi(frames_left)
+                    + p.voice_offset
+            }
+            TerminalClass::Data => {
+                let waited = (world.frame.saturating_sub(entry.acked_frame)).min(64) as i32;
+                p.alpha_data * f_csi
+                    + p.urgency_weight * (1.0 - p.beta_data.powi(waited))
+                    + p.gamma_data
+            }
+        }
+    }
+
+    /// Refreshes the CSI of up to `polls` stale backlog entries, highest
+    /// priority first (the poll-for-CSI subframe).
+    fn refresh_csi(&mut self, world: &mut FrameWorld<'_>, polls: u32) {
+        if polls == 0 || self.backlog.is_empty() {
+            return;
+        }
+        let validity = world.csi_validity();
+        let mut stale: Vec<(usize, f64)> = self
+            .backlog
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.csi.is_fresh(world.now, validity))
+            .map(|(i, e)| (i, self.priority(world, e)))
+            .collect();
+        stale.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (idx, _) in stale.into_iter().take(polls as usize) {
+            let id = self.backlog[idx].terminal;
+            let est = world.estimate_csi(id);
+            self.backlog[idx].csi = est;
+            self.last_csi.insert(id, est);
+        }
+    }
+}
+
+impl UplinkMac for Charisma {
+    fn name(&self) -> &'static str {
+        "CHARISMA"
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Charisma
+    }
+
+    fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
+        let fs = world.config.frame;
+        world.record_offered_slots(fs.info_slots);
+
+        if world.frame == 0 {
+            common::seed_initial_reservations(world, &mut self.reservations);
+        }
+        common::release_ended_reservations(world, &mut self.reservations);
+
+        // Drop gathered requests that no longer correspond to queued traffic
+        // (voice packet dropped at its deadline, data buffer drained).
+        self.backlog.retain(|e| world.terminal(e.terminal).has_backlog());
+
+        // --- Request gathering -------------------------------------------
+        // 1. Base-station-generated requests for reserved voice terminals
+        //    whose next packet is due (the 20 ms reservation renewal).
+        for id in common::reserved_voice_due(world, &self.reservations) {
+            if !self.backlog.iter().any(|e| e.terminal == id) {
+                let csi = self
+                    .last_csi
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(CsiEstimate { snr_db: 0.0, estimated_at: SimTime::ZERO });
+                self.backlog.push(Entry {
+                    terminal: id,
+                    class: TerminalClass::Voice,
+                    csi,
+                    acked_frame: world.frame,
+                });
+            }
+        }
+
+        // 2. Contention for new requests (new talkspurts and data bursts).
+        let exclude: HashSet<TerminalId> = self.backlog.iter().map(|e| e.terminal).collect();
+        let contenders = common::contenders(world, &self.reservations, &exclude);
+        let winners = world.contend(fs.request_slots, &contenders);
+        for id in winners {
+            // The request packet carries pilot symbols: the base station
+            // estimates this terminal's CSI as part of receiving the request.
+            let est = world.estimate_csi(id);
+            self.last_csi.insert(id, est);
+            self.backlog.push(Entry {
+                terminal: id,
+                class: world.terminal(id).class(),
+                csi: est,
+                acked_frame: world.frame,
+            });
+        }
+
+        // 3. CSI refresh for stale entries via the poll-for-CSI subframe.
+        self.refresh_csi(world, fs.pilot_slots);
+
+        if world.measuring {
+            world.metrics_mut().contention.queue_length.push(self.backlog.len() as f64);
+        }
+
+        // --- Priority allocation ------------------------------------------
+        let mut order: Vec<(usize, f64)> = self
+            .backlog
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, self.priority(world, e)))
+            .collect();
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut remaining = fs.info_slots as f64;
+        let mut served: HashSet<usize> = HashSet::new();
+        for (idx, _prio) in order {
+            if remaining <= 1e-9 {
+                break;
+            }
+            let entry = self.backlog[idx];
+            let capacity = world.adaptive_phy().packets_per_slot(entry.csi.snr_db);
+            if capacity <= 0.0 {
+                // Outage: defer this request until its CSI improves (or its
+                // deadline expires), rather than wasting slots on it.
+                continue;
+            }
+            match entry.class {
+                TerminalClass::Voice => {
+                    if world.terminal(entry.terminal).voice_backlog() == 0 {
+                        served.insert(idx);
+                        continue;
+                    }
+                    // Airtime needed for one packet at the announced mode,
+                    // subject to the sub-slot scheduling granularity of the
+                    // announcement schedule.
+                    let slots = (1.0 / capacity).max(fs.min_allocation());
+                    if slots > remaining + 1e-9 {
+                        continue;
+                    }
+                    let link = LinkAdaptation::Announced { snr_db: entry.csi.snr_db };
+                    match world.transmit_voice(entry.terminal, slots, link) {
+                        VoiceTx::Delivered | VoiceTx::Errored => {
+                            remaining -= slots;
+                            self.reservations.insert(entry.terminal);
+                            served.insert(idx);
+                        }
+                        VoiceTx::InsufficientCapacity => {
+                            // The estimate promised capacity the true channel
+                            // no longer supports; the slot assignment is lost.
+                            world.record_wasted_slots(slots);
+                            remaining -= slots;
+                            self.reservations.insert(entry.terminal);
+                            served.insert(idx);
+                        }
+                        VoiceTx::NoPacket => {
+                            served.insert(idx);
+                        }
+                    }
+                }
+                TerminalClass::Data => {
+                    let backlog_pkts = world
+                        .terminal(entry.terminal)
+                        .data_backlog()
+                        .min(self.params.max_data_packets_per_grant as u64)
+                        as u32;
+                    if backlog_pkts == 0 {
+                        served.insert(idx);
+                        continue;
+                    }
+                    let slots = remaining.min(backlog_pkts as f64 / capacity);
+                    if slots <= 1e-9 {
+                        continue;
+                    }
+                    let link = LinkAdaptation::Announced { snr_db: entry.csi.snr_db };
+                    let tx = world.transmit_data(entry.terminal, slots, backlog_pkts, link);
+                    if tx.delivered == 0 && tx.errored == 0 {
+                        world.record_wasted_slots(slots);
+                    }
+                    remaining -= slots;
+                    // A data request is good for one allocation only: the
+                    // terminal must request again for the rest of its burst.
+                    served.insert(idx);
+                }
+            }
+        }
+
+        // --- Queue maintenance ---------------------------------------------
+        let mut kept = 0usize;
+        let mut i = 0usize;
+        self.backlog.retain(|_| {
+            let keep = !served.contains(&i);
+            i += 1;
+            keep
+        });
+        if self.queue_enabled {
+            // Bound the queue: keep the oldest requests first.
+            if self.backlog.len() > self.queue_capacity {
+                self.backlog.truncate(self.queue_capacity);
+            }
+            kept = self.backlog.len();
+        } else {
+            self.backlog.clear();
+        }
+        let _ = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn identity() {
+        let cfg = SimConfig::quick_test();
+        let c = Charisma::new(&cfg);
+        assert_eq!(c.name(), "CHARISMA");
+        assert_eq!(c.kind(), ProtocolKind::Charisma);
+        assert!(c.supports_request_queue());
+        assert_eq!(c.active_reservations(), 0);
+        assert_eq!(c.backlog_len(), 0);
+    }
+
+    #[test]
+    fn queue_settings_follow_config() {
+        let mut cfg = SimConfig::quick_test();
+        cfg.request_queue = true;
+        cfg.request_queue_capacity = 17;
+        let c = Charisma::new(&cfg);
+        assert!(c.queue_enabled);
+        assert_eq!(c.queue_capacity, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta_voice")]
+    fn invalid_params_rejected_at_construction() {
+        let mut cfg = SimConfig::quick_test();
+        cfg.charisma.beta_voice = 2.0;
+        let _ = Charisma::new(&cfg);
+    }
+}

@@ -1,0 +1,213 @@
+//! Building blocks shared by the protocol implementations: reservation
+//! bookkeeping, contender selection and the base-station request queue.
+
+use crate::config::SimConfig;
+use crate::world::FrameWorld;
+use charisma_des::SimTime;
+use charisma_traffic::{TerminalClass, TerminalId};
+use std::collections::{HashSet, VecDeque};
+
+/// Seeds the reservation table with every voice terminal that is already in a
+/// talkspurt when the simulation begins.
+///
+/// The terminal population is drawn from the stationary on/off distribution,
+/// i.e. the run starts in the middle of system operation, where ongoing
+/// talkspurts would long since have completed their reservation handshake.
+/// Without this warm start the very first frames see dozens of simultaneous
+/// unadmitted talkers, which drives the slotted request channel into its
+/// congested (thrashing) equilibrium — a cold-start artefact, not a property
+/// of the protocols under study.  Call once, at frame 0.
+pub fn seed_initial_reservations(world: &FrameWorld<'_>, reservations: &mut HashSet<TerminalId>) {
+    for id in world.terminal_ids() {
+        let t = world.terminal(id);
+        if t.class() == TerminalClass::Voice && t.in_talkspurt() {
+            reservations.insert(id);
+        }
+    }
+}
+
+/// Releases the reservations of terminals whose talkspurt ended at this frame
+/// boundary (paper: a reservation lasts "until the current talkspurt
+/// terminates").
+pub fn release_ended_reservations(world: &FrameWorld<'_>, reservations: &mut HashSet<TerminalId>) {
+    for (i, tr) in world.traffic.iter().enumerate() {
+        if tr.talkspurt_ended {
+            reservations.remove(&TerminalId(i as u32));
+        }
+    }
+}
+
+/// Reserved voice terminals that currently have a packet due, ordered by
+/// earliest deadline (the natural service order for isochronous traffic).
+pub fn reserved_voice_due(
+    world: &FrameWorld<'_>,
+    reservations: &HashSet<TerminalId>,
+) -> Vec<TerminalId> {
+    let mut due: Vec<(SimTime, TerminalId)> = reservations
+        .iter()
+        .filter_map(|&id| world.terminal(id).earliest_voice_deadline().map(|d| (d, id)))
+        .collect();
+    due.sort();
+    due.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Terminals that need to send a transmission request this frame: voice
+/// terminals with a buffered packet and no reservation, and data terminals
+/// with buffered packets — excluding any terminal already represented at the
+/// base station (`exclude`, e.g. already in the request queue).
+pub fn contenders(
+    world: &FrameWorld<'_>,
+    reservations: &HashSet<TerminalId>,
+    exclude: &HashSet<TerminalId>,
+) -> Vec<TerminalId> {
+    world
+        .terminal_ids()
+        .filter(|id| {
+            if exclude.contains(id) {
+                return false;
+            }
+            let t = world.terminal(*id);
+            match t.class() {
+                TerminalClass::Voice => !reservations.contains(id) && t.voice_backlog() > 0,
+                TerminalClass::Data => t.data_backlog() > 0,
+            }
+        })
+        .collect()
+}
+
+/// The base-station request queue of Section 4.5: acknowledged requests that
+/// survived contention but could not be allocated information slots.
+///
+/// The queue is bounded and (when disabled) simply refuses every push, which
+/// lets the protocols share one code path for the with-queue and
+/// without-queue variants.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    enabled: bool,
+    capacity: usize,
+    items: VecDeque<TerminalId>,
+}
+
+impl RequestQueue {
+    /// Creates the queue according to the scenario configuration.
+    pub fn from_config(config: &SimConfig) -> Self {
+        RequestQueue {
+            enabled: config.request_queue,
+            capacity: config.request_queue_capacity,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Whether queueing is enabled for this run.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the terminal already has a queued request.
+    pub fn contains(&self, id: TerminalId) -> bool {
+        self.items.contains(&id)
+    }
+
+    /// Attempts to queue a request; returns `false` when queueing is disabled,
+    /// the queue is full, or the terminal is already queued.
+    pub fn push(&mut self, id: TerminalId) -> bool {
+        if !self.enabled || self.items.len() >= self.capacity || self.contains(id) {
+            return false;
+        }
+        self.items.push_back(id);
+        true
+    }
+
+    /// Removes and returns the oldest queued request.
+    pub fn pop_front(&mut self) -> Option<TerminalId> {
+        self.items.pop_front()
+    }
+
+    /// Removes a specific terminal's queued request (e.g. its talkspurt ended
+    /// or its packets were dropped).
+    pub fn remove(&mut self, id: TerminalId) {
+        self.items.retain(|&t| t != id);
+    }
+
+    /// Drops queued requests whose terminal no longer has anything to send
+    /// (its voice packet was dropped at the deadline, or its data buffer
+    /// drained).  Keeps the queue from serving phantom requests.
+    pub fn purge_idle(&mut self, world: &FrameWorld<'_>) {
+        self.items.retain(|&id| world.terminal(id).has_backlog());
+    }
+
+    /// Removes every queued request (used when rebuilding the queue after an
+    /// allocation pass).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The queued terminals in FIFO order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = TerminalId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// The set of queued terminals (for exclusion from contention).
+    pub fn as_set(&self) -> HashSet<TerminalId> {
+        self.items.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(enabled: bool, capacity: usize) -> RequestQueue {
+        RequestQueue { enabled, capacity, items: VecDeque::new() }
+    }
+
+    #[test]
+    fn disabled_queue_rejects_everything() {
+        let mut q = queue(false, 10);
+        assert!(!q.push(TerminalId(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_is_fifo_and_deduplicating() {
+        let mut q = queue(true, 10);
+        assert!(q.push(TerminalId(1)));
+        assert!(q.push(TerminalId(2)));
+        assert!(!q.push(TerminalId(1)), "duplicate push must be rejected");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_front(), Some(TerminalId(1)));
+        assert_eq!(q.pop_front(), Some(TerminalId(2)));
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn queue_respects_capacity() {
+        let mut q = queue(true, 2);
+        assert!(q.push(TerminalId(1)));
+        assert!(q.push(TerminalId(2)));
+        assert!(!q.push(TerminalId(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_deletes_only_the_named_terminal() {
+        let mut q = queue(true, 10);
+        q.push(TerminalId(1));
+        q.push(TerminalId(2));
+        q.push(TerminalId(3));
+        q.remove(TerminalId(2));
+        let left: Vec<_> = q.iter().collect();
+        assert_eq!(left, vec![TerminalId(1), TerminalId(3)]);
+        assert!(q.as_set().contains(&TerminalId(3)));
+    }
+}

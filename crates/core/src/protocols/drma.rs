@@ -1,0 +1,145 @@
+//! DRMA — dynamic reservation multiple access (paper Section 3.3).
+//!
+//! DRMA has no dedicated request subframe: a frame consists of `N_k`
+//! information slots, and before each slot the base station announces whether
+//! it is assigned.  An *unassigned* information slot is converted on the fly
+//! into `N_x` request minislots in which active terminals contend; the
+//! winners are appended to the service list and use later information slots
+//! of the same frame (or of subsequent frames, via the request queue).
+//!
+//! The defining property is self-stabilisation: when the system is loaded,
+//! every slot is assigned, no contention opportunities exist and terminals
+//! implicitly queue at their own side ("distributed request queueing"), so
+//! the protocol cannot thrash — which is also why an explicit base-station
+//! request queue adds little (Section 5.1 of the paper).
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::config::SimConfig;
+use crate::protocols::common::{self, RequestQueue};
+use crate::protocols::{ProtocolKind, UplinkMac};
+use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
+use charisma_traffic::{TerminalClass, TerminalId};
+
+/// The DRMA protocol.
+#[derive(Debug, Clone)]
+pub struct Drma {
+    reservations: HashSet<TerminalId>,
+    queue: RequestQueue,
+}
+
+impl Drma {
+    /// Builds DRMA for a scenario configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        Drma { reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+    }
+
+    /// Number of terminals currently holding a voice reservation.
+    pub fn active_reservations(&self) -> usize {
+        self.reservations.len()
+    }
+}
+
+impl UplinkMac for Drma {
+    fn name(&self) -> &'static str {
+        "DRMA"
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Drma
+    }
+
+    fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
+        let fs = world.config.frame;
+        world.record_offered_slots(fs.drma_info_slots);
+
+        if world.frame == 0 {
+            common::seed_initial_reservations(world, &mut self.reservations);
+        }
+        common::release_ended_reservations(world, &mut self.reservations);
+        self.queue.purge_idle(world);
+
+        // Pending service: reserved voice packets due, then queued requests.
+        let mut pending: VecDeque<TerminalId> =
+            common::reserved_voice_due(world, &self.reservations).into();
+        let queued: Vec<TerminalId> = self.queue.iter().collect();
+        pending.extend(queued.iter().copied());
+        self.queue.clear();
+
+        if world.measuring {
+            world.metrics_mut().contention.queue_length.push(queued.len() as f64);
+        }
+
+        // Terminals that may contend when an unassigned slot is converted.
+        let mut exclude: HashSet<TerminalId> = queued.iter().copied().collect();
+        exclude.extend(pending.iter().copied());
+        let mut pool: Vec<TerminalId> = common::contenders(world, &self.reservations, &exclude);
+
+        // Walk the N_k information slots of the frame.
+        for _slot in 0..fs.drma_info_slots {
+            if let Some(id) = pending.pop_front() {
+                match world.terminal(id).class() {
+                    TerminalClass::Voice => {
+                        if world.terminal(id).voice_backlog() == 0 {
+                            // Nothing due after all: the slot falls through to
+                            // contention below on the next iteration; to keep
+                            // the walk simple we simply leave it unassigned.
+                            continue;
+                        }
+                        match world.transmit_voice(id, 1.0, LinkAdaptation::Fixed) {
+                            VoiceTx::Delivered | VoiceTx::Errored => {
+                                self.reservations.insert(id);
+                            }
+                            VoiceTx::InsufficientCapacity => {
+                                world.record_wasted_slots(1.0);
+                                self.reservations.insert(id);
+                            }
+                            VoiceTx::NoPacket => {}
+                        }
+                    }
+                    TerminalClass::Data => {
+                        // One information slot per successful data request; the
+                        // terminal contends again for the rest of its burst.
+                        let tx = world.transmit_data(id, 1.0, u32::MAX, LinkAdaptation::Fixed);
+                        if tx.delivered == 0 && tx.errored == 0 {
+                            world.record_wasted_slots(1.0);
+                        }
+                    }
+                }
+            } else {
+                // Unassigned slot → N_x request minislots.
+                if pool.is_empty() {
+                    continue;
+                }
+                let winners = world.contend(fs.drma_minislots, &pool);
+                if !winners.is_empty() {
+                    pool.retain(|id| !winners.contains(id));
+                    pending.extend(winners);
+                }
+            }
+        }
+
+        // Winners acknowledged late in the frame that found no free slot are
+        // queued (if the queue is enabled) or forgotten.
+        for id in pending {
+            if !self.reservations.contains(&id) && world.terminal(id).has_backlog() {
+                let _ = self.queue.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let cfg = SimConfig::quick_test();
+        let d = Drma::new(&cfg);
+        assert_eq!(d.name(), "DRMA");
+        assert_eq!(d.kind(), ProtocolKind::Drma);
+        assert!(d.supports_request_queue());
+        assert_eq!(d.active_reservations(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! RAMA — resource auction multiple access (paper Section 3.1).
+//!
+//! RAMA replaces slotted contention with a collision-free auction: in each of
+//! the `N_a` auction slots every active terminal bids a randomly drawn ID,
+//! digit by digit, and the base station keeps the highest bidder — so every
+//! auction slot produces exactly one winner, regardless of the number of
+//! contenders.  Data terminals always draw IDs smaller than voice terminals,
+//! giving voice strict priority.  Winners are served first-come-first-served
+//! in the `N_i` information slots of the same frame (fixed-rate PHY); voice
+//! winners keep a reservation for the rest of their talkspurt.
+//!
+//! The auction's MAC-visible contract — one winner per auction slot, voice
+//! before data, no collisions — is modelled symbolically: the per-digit
+//! orthogonal-frequency signalling of the original paper is hardware detail
+//! that does not affect protocol-level behaviour.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::config::SimConfig;
+use crate::protocols::common::{self, RequestQueue};
+use crate::protocols::{ProtocolKind, UplinkMac};
+use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
+use charisma_des::Sampler;
+use charisma_traffic::{TerminalClass, TerminalId};
+
+/// The RAMA protocol.
+#[derive(Debug, Clone)]
+pub struct Rama {
+    reservations: HashSet<TerminalId>,
+    queue: RequestQueue,
+}
+
+impl Rama {
+    /// Builds RAMA for a scenario configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        Rama { reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+    }
+
+    /// Number of terminals currently holding a voice reservation.
+    pub fn active_reservations(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Runs the auction subframe: selects up to `n_slots` distinct winners
+    /// from `contenders`, voice terminals strictly before data terminals and
+    /// randomly ordered within each class (each terminal redraws its ID every
+    /// auction slot, so the per-slot winner is uniform among the highest
+    /// class present).
+    fn auction(
+        world: &mut FrameWorld<'_>,
+        contenders: &[TerminalId],
+        n_slots: u32,
+    ) -> Vec<TerminalId> {
+        let mut voice: Vec<TerminalId> = Vec::new();
+        let mut data: Vec<TerminalId> = Vec::new();
+        for &id in contenders {
+            match world.terminal(id).class() {
+                TerminalClass::Voice => voice.push(id),
+                TerminalClass::Data => data.push(id),
+            }
+        }
+        // Fisher–Yates shuffle with the base-station stream: the auction IDs
+        // are drawn fresh every slot, so winner order within a class is
+        // uniformly random.
+        let shuffle = |v: &mut Vec<TerminalId>, world: &mut FrameWorld<'_>| {
+            for i in (1..v.len()).rev() {
+                let j = Sampler::uniform_index(world.bs_rng(), i + 1);
+                v.swap(i, j);
+            }
+        };
+        shuffle(&mut voice, world);
+        shuffle(&mut data, world);
+
+        let mut winners = Vec::new();
+        let mut ordered = voice.into_iter().chain(data);
+        for _ in 0..n_slots {
+            match ordered.next() {
+                Some(id) => winners.push(id),
+                None => break,
+            }
+        }
+        if world.measuring {
+            // Every contender bids in every auction slot until it wins or the
+            // subframe ends; there are no collisions by construction.
+            world.metrics_mut().contention.attempts += contenders.len() as u64;
+            world.metrics_mut().contention.successes += winners.len() as u64;
+        }
+        winners
+    }
+}
+
+impl UplinkMac for Rama {
+    fn name(&self) -> &'static str {
+        "RAMA"
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Rama
+    }
+
+    fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
+        let fs = world.config.frame;
+        world.record_offered_slots(fs.info_slots);
+
+        if world.frame == 0 {
+            common::seed_initial_reservations(world, &mut self.reservations);
+        }
+        common::release_ended_reservations(world, &mut self.reservations);
+        self.queue.purge_idle(world);
+
+        let mut service: VecDeque<TerminalId> =
+            common::reserved_voice_due(world, &self.reservations).into();
+        let queued: Vec<TerminalId> = self.queue.iter().collect();
+        service.extend(queued.iter().copied());
+        self.queue.clear();
+
+        let exclude: HashSet<TerminalId> = queued.iter().copied().collect();
+        let contenders = common::contenders(world, &self.reservations, &exclude);
+        let winners = Self::auction(world, &contenders, fs.rama_auction_slots);
+        service.extend(winners);
+
+        if world.measuring {
+            world.metrics_mut().contention.queue_length.push(queued.len() as f64);
+        }
+
+        let mut remaining = fs.info_slots as f64;
+        let mut unserved: Vec<TerminalId> = Vec::new();
+        while let Some(id) = service.pop_front() {
+            if remaining < 1.0 {
+                unserved.push(id);
+                continue;
+            }
+            match world.terminal(id).class() {
+                TerminalClass::Voice => {
+                    if world.terminal(id).voice_backlog() == 0 {
+                        continue;
+                    }
+                    match world.transmit_voice(id, 1.0, LinkAdaptation::Fixed) {
+                        VoiceTx::Delivered | VoiceTx::Errored => {
+                            self.reservations.insert(id);
+                            remaining -= 1.0;
+                        }
+                        VoiceTx::InsufficientCapacity => {
+                            world.record_wasted_slots(1.0);
+                            self.reservations.insert(id);
+                            remaining -= 1.0;
+                        }
+                        VoiceTx::NoPacket => {}
+                    }
+                }
+                TerminalClass::Data => {
+                    let backlog = world.terminal(id).data_backlog();
+                    if backlog == 0 {
+                        continue;
+                    }
+                    let slots = remaining.min(backlog as f64);
+                    let tx = world.transmit_data(id, slots, u32::MAX, LinkAdaptation::Fixed);
+                    if tx.delivered == 0 && tx.errored == 0 {
+                        world.record_wasted_slots(slots);
+                    }
+                    remaining -= slots;
+                }
+            }
+        }
+
+        for id in unserved {
+            if !self.reservations.contains(&id) && world.terminal(id).has_backlog() {
+                let _ = self.queue.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let cfg = SimConfig::quick_test();
+        let r = Rama::new(&cfg);
+        assert_eq!(r.name(), "RAMA");
+        assert_eq!(r.kind(), ProtocolKind::Rama);
+        assert!(r.supports_request_queue());
+        assert_eq!(r.active_reservations(), 0);
+    }
+}

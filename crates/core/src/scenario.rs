@@ -1,0 +1,304 @@
+//! The scenario runner: builds the terminal population, drives the
+//! frame-synchronous simulation loop and produces a [`RunReport`].
+
+use crate::config::SimConfig;
+use crate::protocols::{ProtocolKind, UplinkMac};
+use crate::terminal::{FrameTraffic, Terminal};
+use crate::world::FrameWorld;
+use charisma_des::{RngStreams, StreamId, Xoshiro256StarStar};
+use charisma_metrics::RunMetrics;
+use charisma_radio::CsiEstimator;
+use charisma_traffic::{TerminalClass, TerminalId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which protocol was simulated.
+    pub protocol: ProtocolKind,
+    /// Whether the base-station request queue was enabled.
+    pub request_queue: bool,
+    /// Number of voice terminals.
+    pub num_voice: u32,
+    /// Number of data terminals.
+    pub num_data: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The collected metrics.
+    pub metrics: RunMetrics,
+}
+
+impl RunReport {
+    /// Voice packet loss rate `P_loss`.
+    pub fn voice_loss_rate(&self) -> f64 {
+        self.metrics.voice_loss_rate()
+    }
+
+    /// Data throughput δ in packets per frame.
+    pub fn data_throughput_per_frame(&self) -> f64 {
+        self.metrics.data_throughput_per_frame()
+    }
+
+    /// Data throughput per data terminal per frame (the per-user operating
+    /// point used for the paper's (delay, throughput) QoS capacity).
+    pub fn data_throughput_per_user(&self) -> f64 {
+        if self.num_data == 0 {
+            0.0
+        } else {
+            self.data_throughput_per_frame() / self.num_data as f64
+        }
+    }
+
+    /// Mean data access delay in seconds.
+    pub fn data_delay_secs(&self) -> f64 {
+        self.metrics.data_delay_secs()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} queue={} Nv={:>3} Nd={:>3}  Ploss={:.4}  delta={:.3} pkt/frame  Dd={:.3} s",
+            self.protocol.label(),
+            if self.request_queue { "yes" } else { "no " },
+            self.num_voice,
+            self.num_data,
+            self.voice_loss_rate(),
+            self.data_throughput_per_frame(),
+            self.data_delay_secs(),
+        )
+    }
+}
+
+/// A fully built simulation, ready to run.
+///
+/// ```
+/// use charisma::{ProtocolKind, Scenario, SimConfig};
+///
+/// let mut config = SimConfig::quick_test();
+/// config.num_voice = 10;
+/// config.measured_frames = 2_000;
+/// let report = Scenario::new(config).run(ProtocolKind::Charisma);
+/// assert!(report.voice_loss_rate() <= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: SimConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario after validating the configuration.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Scenario { config }
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Builds the terminal population: voice terminals first (ids
+    /// `0..num_voice`), then data terminals.  Identical across protocols for
+    /// a given seed, which is the "common simulation platform" property.
+    fn build_terminals(&self, streams: &RngStreams) -> Vec<Terminal> {
+        let clock = self.config.clock();
+        (0..self.config.num_voice + self.config.num_data)
+            .map(|i| {
+                let class = if i < self.config.num_voice {
+                    TerminalClass::Voice
+                } else {
+                    TerminalClass::Data
+                };
+                Terminal::new(
+                    TerminalId(i),
+                    class,
+                    clock,
+                    self.config.voice_source,
+                    self.config.data_source,
+                    self.config.channel,
+                    &self.config.speed,
+                    streams,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs the scenario under the given protocol and returns the report.
+    pub fn run(&self, protocol: ProtocolKind) -> RunReport {
+        let mut mac = protocol.build(&self.config);
+        self.run_with(mac.as_mut())
+    }
+
+    /// Runs the scenario with an externally constructed protocol instance
+    /// (useful for ablations that tweak protocol internals).
+    pub fn run_with(&self, mac: &mut dyn UplinkMac) -> RunReport {
+        let config = &self.config;
+        let streams = RngStreams::new(config.seed);
+        let mut terminals = self.build_terminals(&streams);
+        let mut metrics = RunMetrics::default();
+        let mut estimator = CsiEstimator::new(
+            config.csi,
+            streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, u32::MAX)),
+        );
+        let mut bs_rng: Xoshiro256StarStar =
+            streams.stream(StreamId::new(StreamId::DOMAIN_PROTOCOL, u32::MAX));
+
+        let mut traffic: Vec<FrameTraffic> = vec![FrameTraffic::default(); terminals.len()];
+        let total = config.total_frames();
+        // Deadline drops are attributed to the frame in which the deadline
+        // expires, one voice-packet period after generation; start counting
+        // them that much later than `generated` so a drop is never counted
+        // for a packet generated during warm-up (which would let the measured
+        // loss rate exceed 100 % at saturation).
+        let drop_grace = config.clock().frames_per(config.voice_source.deadline);
+
+        for frame in 0..total {
+            let measuring = frame >= config.warmup_frames;
+            let measuring_drops = frame >= config.warmup_frames + drop_grace;
+
+            // Traffic and channel advance, deadline drops are detected here.
+            for (i, t) in terminals.iter_mut().enumerate() {
+                let tr = t.begin_frame(frame);
+                traffic[i] = tr;
+                if measuring {
+                    if tr.voice_packet_generated {
+                        metrics.voice.generated += 1;
+                    }
+                    if measuring_drops {
+                        metrics.voice.dropped_deadline += tr.voice_packets_dropped as u64;
+                    }
+                    metrics.data.arrived += tr.data_packets_arrived as u64;
+                }
+            }
+
+            let mut world = FrameWorld::new(
+                frame,
+                config,
+                measuring,
+                &traffic,
+                &mut terminals,
+                &mut metrics,
+                &mut estimator,
+                &mut bs_rng,
+            );
+            mac.run_frame(&mut world);
+
+            if measuring {
+                metrics.frames += 1;
+            }
+        }
+
+        RunReport {
+            protocol: mac.kind(),
+            request_queue: config.request_queue,
+            num_voice: config.num_voice,
+            num_data: config.num_data,
+            seed: config.seed,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(num_voice: u32, num_data: u32) -> SimConfig {
+        let mut cfg = SimConfig::quick_test();
+        cfg.num_voice = num_voice;
+        cfg.num_data = num_data;
+        cfg.warmup_frames = 400;
+        cfg.measured_frames = 4_000;
+        cfg
+    }
+
+    #[test]
+    fn every_protocol_completes_a_small_run() {
+        let cfg = small_config(10, 2);
+        let scenario = Scenario::new(cfg);
+        for p in ProtocolKind::ALL {
+            let report = scenario.run(p);
+            assert_eq!(report.protocol, p);
+            assert!(report.metrics.frames > 0);
+            assert!(report.voice_loss_rate() >= 0.0 && report.voice_loss_rate() <= 1.0, "{p}");
+            assert!(report.metrics.voice.generated > 0, "{p} generated no voice packets");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_the_same_seed() {
+        let cfg = small_config(8, 1);
+        let scenario = Scenario::new(cfg);
+        let a = scenario.run(ProtocolKind::Charisma);
+        let b = scenario.run(ProtocolKind::Charisma);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_the_outcome() {
+        let mut cfg = small_config(20, 2);
+        let a = Scenario::new(cfg.clone()).run(ProtocolKind::DTdmaFr);
+        cfg.seed ^= 0xABCD;
+        let b = Scenario::new(cfg).run(ProtocolKind::DTdmaFr);
+        assert_ne!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn light_load_has_low_voice_loss_for_charisma() {
+        let cfg = small_config(10, 0);
+        let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
+        assert!(
+            report.voice_loss_rate() < 0.02,
+            "CHARISMA at light load should have (near) zero loss, got {}",
+            report.voice_loss_rate()
+        );
+    }
+
+    #[test]
+    fn heavy_load_saturates_and_causes_losses() {
+        let mut cfg = small_config(150, 0);
+        cfg.measured_frames = 4_000;
+        let report = Scenario::new(cfg).run(ProtocolKind::DTdmaFr);
+        assert!(
+            report.voice_loss_rate() > 0.05,
+            "D-TDMA/FR at 150 voice users must be far beyond capacity, got {}",
+            report.voice_loss_rate()
+        );
+    }
+
+    #[test]
+    fn data_only_scenario_delivers_packets() {
+        let cfg = small_config(1, 4);
+        let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
+        assert!(report.metrics.data.delivered > 0, "no data delivered");
+        assert!(report.data_delay_secs() >= 0.0);
+    }
+
+    #[test]
+    fn voice_accounting_is_consistent() {
+        let cfg = small_config(30, 0);
+        for p in ProtocolKind::ALL {
+            let report = Scenario::new(cfg.clone()).run(p);
+            let v = &report.metrics.voice;
+            // Delivered + lost can never exceed generated plus a small carry-over
+            // from packets generated during warm-up but delivered after it.
+            let slack = 4 * 8; // generously: one packet per terminal boundary effect
+            assert!(
+                v.delivered + v.lost() <= v.generated + slack,
+                "{p}: delivered {} + lost {} vs generated {}",
+                v.delivered,
+                v.lost(),
+                v.generated
+            );
+        }
+    }
+
+    #[test]
+    fn per_user_throughput_is_bounded_by_offered_load() {
+        let cfg = small_config(0, 6);
+        let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
+        // Each data terminal offers 0.25 packets per frame on average; the
+        // delivered per-user throughput cannot exceed it by more than noise.
+        assert!(report.data_throughput_per_user() < 0.40, "got {}", report.data_throughput_per_user());
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-threaded parameter sweeps.
+//!
+//! Every point of a sweep (a protocol × load × queue-variant combination) is
+//! an independent simulation with its own deterministic random streams, so
+//! the sweep is embarrassingly parallel: points are distributed over a scoped
+//! worker pool (one worker per available core) and results are returned in
+//! the original point order regardless of completion order.
+
+use crate::config::SimConfig;
+use crate::protocols::ProtocolKind;
+use crate::scenario::{RunReport, Scenario};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One point of a sweep: a full scenario configuration plus the protocol to
+/// run on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Label of the independent variable (e.g. the number of voice users).
+    pub load: f64,
+    /// The protocol to simulate.
+    pub protocol: ProtocolKind,
+    /// The scenario configuration for this point.
+    pub config: SimConfig,
+}
+
+/// The result of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The independent variable of the point.
+    pub load: f64,
+    /// The protocol that was simulated.
+    pub protocol: ProtocolKind,
+    /// The run report.
+    pub report: RunReport,
+}
+
+/// Runs all sweep points, using up to `threads` worker threads (0 ⇒ one per
+/// available core).  Results are returned in the same order as `points`.
+pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let worker_count = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(points.len());
+
+    if worker_count <= 1 {
+        return points
+            .into_iter()
+            .map(|p| SweepResult {
+                load: p.load,
+                protocol: p.protocol,
+                report: Scenario::new(p.config).run(p.protocol),
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+    let points_ref = &points;
+    let next_ref = &next;
+    let results_ref = &results;
+
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(move || loop {
+                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                if idx >= points_ref.len() {
+                    break;
+                }
+                let point = &points_ref[idx];
+                let report = Scenario::new(point.config.clone()).run(point.protocol);
+                let result = SweepResult { load: point.load, protocol: point.protocol, report };
+                results_ref.lock().expect("sweep result mutex poisoned")[idx] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("sweep result mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every sweep point must produce a result"))
+        .collect()
+}
+
+/// Builds the sweep points for one protocol over a range of voice-user
+/// counts (the independent variable of the paper's Fig. 11), holding the
+/// number of data users fixed.
+pub fn voice_load_sweep(
+    base: &SimConfig,
+    protocol: ProtocolKind,
+    voice_counts: &[u32],
+    num_data: u32,
+    request_queue: bool,
+) -> Vec<SweepPoint> {
+    voice_counts
+        .iter()
+        .map(|&nv| {
+            let mut config = base.clone();
+            config.num_voice = nv;
+            config.num_data = num_data;
+            config.request_queue = request_queue && protocol.supports_request_queue();
+            SweepPoint { load: nv as f64, protocol, config }
+        })
+        .collect()
+}
+
+/// Builds the sweep points for one protocol over a range of data-user counts
+/// (the independent variable of the paper's Figs. 12 and 13), holding the
+/// number of voice users fixed.
+pub fn data_load_sweep(
+    base: &SimConfig,
+    protocol: ProtocolKind,
+    data_counts: &[u32],
+    num_voice: u32,
+    request_queue: bool,
+) -> Vec<SweepPoint> {
+    data_counts
+        .iter()
+        .map(|&nd| {
+            let mut config = base.clone();
+            config.num_voice = num_voice;
+            config.num_data = nd;
+            config.request_queue = request_queue && protocol.supports_request_queue();
+            SweepPoint { load: nd as f64, protocol, config }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SimConfig {
+        let mut cfg = SimConfig::quick_test();
+        cfg.warmup_frames = 200;
+        cfg.measured_frames = 1_200;
+        cfg
+    }
+
+    #[test]
+    fn sweep_preserves_point_order_and_loads() {
+        let base = tiny_config();
+        let points = voice_load_sweep(&base, ProtocolKind::DTdmaFr, &[5, 10, 15], 0, false);
+        let results = run_sweep(points, 3);
+        let loads: Vec<f64> = results.iter().map(|r| r.load).collect();
+        assert_eq!(loads, vec![5.0, 10.0, 15.0]);
+        for r in &results {
+            assert_eq!(r.protocol, ProtocolKind::DTdmaFr);
+            assert_eq!(r.report.num_data, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let base = tiny_config();
+        let points = voice_load_sweep(&base, ProtocolKind::Charisma, &[4, 8], 1, true);
+        let serial = run_sweep(points.clone(), 1);
+        let parallel = run_sweep(points, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.report, p.report, "parallel execution must not change results");
+        }
+    }
+
+    #[test]
+    fn rmav_never_gets_a_request_queue() {
+        let base = tiny_config();
+        let points = data_load_sweep(&base, ProtocolKind::Rmav, &[2, 4], 0, true);
+        for p in &points {
+            assert!(!p.config.request_queue, "RMAV has no request-queue variant");
+        }
+    }
+
+    #[test]
+    fn data_sweep_sets_voice_count() {
+        let base = tiny_config();
+        let points = data_load_sweep(&base, ProtocolKind::Drma, &[1, 2, 3], 7, false);
+        assert!(points.iter().all(|p| p.config.num_voice == 7));
+        assert_eq!(points.iter().map(|p| p.load).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert!(run_sweep(Vec::new(), 4).is_empty());
+    }
+}

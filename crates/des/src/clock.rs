@@ -1,0 +1,154 @@
+//! TDMA frame clock.
+//!
+//! All six protocols in the reproduction are frame-synchronous: the base
+//! station and the mobile terminals share common frame boundaries (the paper
+//! notes that every TDMA system must have its frame boundaries synchronised).
+//! [`FrameClock`] provides the exact integer conversions between simulation
+//! time, frame indices and positions within a frame, for the paper's 2.5 ms
+//! frame as well as for protocols with variable-length frames (RMAV), whose
+//! clock is advanced by an explicit per-frame duration.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Position of an instant within a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotPosition {
+    /// Index of the frame containing the instant (0-based).
+    pub frame: u64,
+    /// Offset from the start of that frame.
+    pub offset: SimDuration,
+}
+
+/// A fixed-period frame clock.
+///
+/// The clock itself is just arithmetic over [`SimTime`]; it holds no mutable
+/// state, so it can be freely shared between the base station and terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameClock {
+    frame_duration: SimDuration,
+}
+
+impl FrameClock {
+    /// Creates a clock with the given frame duration.  Panics on a zero
+    /// duration.
+    pub fn new(frame_duration: SimDuration) -> Self {
+        assert!(!frame_duration.is_zero(), "frame duration must be non-zero");
+        FrameClock { frame_duration }
+    }
+
+    /// The paper's frame duration of 2.5 ms.
+    pub fn paper_default() -> Self {
+        FrameClock::new(SimDuration::from_micros(2_500))
+    }
+
+    /// The frame duration.
+    pub fn frame_duration(&self) -> SimDuration {
+        self.frame_duration
+    }
+
+    /// Index of the frame containing `t` (frames are `[k·T, (k+1)·T)`).
+    pub fn frame_index(&self, t: SimTime) -> u64 {
+        t.as_micros() / self.frame_duration.as_micros()
+    }
+
+    /// Start time of frame `k`.
+    pub fn frame_start(&self, k: u64) -> SimTime {
+        SimTime::from_micros(k * self.frame_duration.as_micros())
+    }
+
+    /// End time of frame `k` (equal to the start of frame `k + 1`).
+    pub fn frame_end(&self, k: u64) -> SimTime {
+        self.frame_start(k + 1)
+    }
+
+    /// The first frame boundary at or after `t`.
+    pub fn next_boundary(&self, t: SimTime) -> SimTime {
+        let us = t.as_micros();
+        let f = self.frame_duration.as_micros();
+        let rem = us % f;
+        if rem == 0 {
+            t
+        } else {
+            SimTime::from_micros(us - rem + f)
+        }
+    }
+
+    /// Decomposes `t` into its containing frame and the offset within it.
+    pub fn position(&self, t: SimTime) -> SlotPosition {
+        let k = self.frame_index(t);
+        SlotPosition { frame: k, offset: t.duration_since(self.frame_start(k)) }
+    }
+
+    /// Number of whole frames per `period` (e.g. 8 frames per 20 ms voice
+    /// packet period for the paper's 2.5 ms frame).  Panics if `period` is
+    /// not an exact multiple of the frame duration, because a misaligned
+    /// period would silently break the isochronous voice schedule.
+    pub fn frames_per(&self, period: SimDuration) -> u64 {
+        assert!(
+            (period % self.frame_duration).is_zero(),
+            "period {period} is not a whole number of frames ({})",
+            self.frame_duration
+        );
+        period.div_duration(self.frame_duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_2_5_ms() {
+        let c = FrameClock::paper_default();
+        assert_eq!(c.frame_duration(), SimDuration::from_micros(2_500));
+    }
+
+    #[test]
+    fn frame_index_and_bounds() {
+        let c = FrameClock::paper_default();
+        assert_eq!(c.frame_index(SimTime::ZERO), 0);
+        assert_eq!(c.frame_index(SimTime::from_micros(2_499)), 0);
+        assert_eq!(c.frame_index(SimTime::from_micros(2_500)), 1);
+        assert_eq!(c.frame_start(4), SimTime::from_micros(10_000));
+        assert_eq!(c.frame_end(3), SimTime::from_micros(10_000));
+    }
+
+    #[test]
+    fn next_boundary_rounds_up_and_is_idempotent_on_boundaries() {
+        let c = FrameClock::paper_default();
+        assert_eq!(c.next_boundary(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(c.next_boundary(SimTime::from_micros(1)), SimTime::from_micros(2_500));
+        assert_eq!(c.next_boundary(SimTime::from_micros(2_500)), SimTime::from_micros(2_500));
+        assert_eq!(c.next_boundary(SimTime::from_micros(2_501)), SimTime::from_micros(5_000));
+    }
+
+    #[test]
+    fn position_round_trips() {
+        let c = FrameClock::paper_default();
+        let t = SimTime::from_micros(7_777);
+        let p = c.position(t);
+        assert_eq!(p.frame, 3);
+        assert_eq!(p.offset, SimDuration::from_micros(277));
+        assert_eq!(c.frame_start(p.frame) + p.offset, t);
+    }
+
+    #[test]
+    fn voice_period_is_eight_frames() {
+        let c = FrameClock::paper_default();
+        assert_eq!(c.frames_per(SimDuration::from_millis(20)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number of frames")]
+    fn misaligned_period_panics() {
+        let c = FrameClock::paper_default();
+        let _ = c.frames_per(SimDuration::from_micros(21_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frame_duration_rejected() {
+        let _ = FrameClock::new(SimDuration::ZERO);
+    }
+}

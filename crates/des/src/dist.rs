@@ -1,0 +1,261 @@
+//! Random variates used by the paper's source and channel models.
+//!
+//! The models of Section 2 and Section 4.2 of the paper need only a handful
+//! of distributions: exponential (talkspurt/silence lengths, data burst
+//! inter-arrival times and sizes), Bernoulli (permission probabilities),
+//! Gaussian (in-phase/quadrature components of Rayleigh fading and the dB
+//! value of log-normal shadowing), Rayleigh (fading envelope) and discrete
+//! uniform (request-slot selection).  They are implemented here on top of the
+//! uniform generator so the simulation carries no external distribution
+//! dependency.
+
+use crate::rng::Xoshiro256StarStar;
+
+/// Distribution sampling helpers layered over a [`Xoshiro256StarStar`] stream.
+///
+/// `Sampler` borrows the generator mutably for each draw, so a single stream
+/// can interleave draws from several distributions while remaining one
+/// deterministic sequence.
+#[derive(Debug)]
+pub struct Sampler;
+
+impl Sampler {
+    /// Exponential variate with the given mean (inverse-CDF method).
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(rng: &mut Xoshiro256StarStar, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        -mean * rng.next_f64_open().ln()
+    }
+
+    /// Standard normal variate via the Box–Muller transform.
+    pub fn standard_normal(rng: &mut Xoshiro256StarStar) -> f64 {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(rng: &mut Xoshiro256StarStar, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * Self::standard_normal(rng)
+    }
+
+    /// Rayleigh-distributed envelope with unit mean square (`E[c²] = 1`),
+    /// matching the paper's normalisation of the short-term fading component.
+    pub fn rayleigh_unit_power(rng: &mut Xoshiro256StarStar) -> f64 {
+        // If X,Y ~ N(0, 1/2) then sqrt(X²+Y²) is Rayleigh with E[r²] = 1.
+        let sigma = std::f64::consts::FRAC_1_SQRT_2;
+        let x = sigma * Self::standard_normal(rng);
+        let y = sigma * Self::standard_normal(rng);
+        (x * x + y * y).sqrt()
+    }
+
+    /// Log-normal variate specified in decibels: the returned value `c`
+    /// satisfies `20·log10(c) ~ N(mean_db, std_db²)`, the form used for the
+    /// long-term shadowing component.
+    pub fn lognormal_db(rng: &mut Xoshiro256StarStar, mean_db: f64, std_db: f64) -> f64 {
+        let db = Self::normal(rng, mean_db, std_db);
+        10f64.powf(db / 20.0)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(rng: &mut Xoshiro256StarStar, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        rng.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`.  Panics if `n == 0`.
+    pub fn uniform_index(rng: &mut Xoshiro256StarStar, n: usize) -> usize {
+        assert!(n > 0, "uniform_index requires a non-empty range");
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // the small ranges used here (slot counts), but use 64×64→128 to make
+        // it exact for any n.
+        let x = rng.next_u64_public();
+        ((x as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Geometric number of Bernoulli(p) failures before the first success,
+    /// i.e. the number of frames a terminal waits before its permission
+    /// probability lets it transmit.  Returns `u32::MAX` for `p == 0`.
+    pub fn geometric_failures(rng: &mut Xoshiro256StarStar, p: f64) -> u32 {
+        if p >= 1.0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return u32::MAX;
+        }
+        let u = rng.next_f64_open();
+        let k = (u.ln() / (1.0 - p).ln()).floor();
+        if k >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            k as u32
+        }
+    }
+}
+
+/// Internal helper so `Sampler` can pull raw 64-bit values without importing
+/// `rand::RngCore` at every call site.
+trait RawU64 {
+    fn next_u64_public(&mut self) -> u64;
+}
+
+impl RawU64 for Xoshiro256StarStar {
+    fn next_u64_public(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::from_seed_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng(1);
+        let n = 200_000;
+        let mean = 1.35;
+        let sum: f64 = (0..n).map(|_| Sampler::exponential(&mut r, mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.02, "sample mean {m} vs expected {mean}");
+    }
+
+    #[test]
+    fn exponential_is_always_non_negative() {
+        let mut r = rng(2);
+        for _ in 0..10_000 {
+            assert!(Sampler::exponential(&mut r, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_zero_mean() {
+        let mut r = rng(3);
+        let _ = Sampler::exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(4);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = Sampler::standard_normal(&mut r);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn rayleigh_unit_power_has_unit_second_moment() {
+        let mut r = rng(5);
+        let n = 200_000;
+        let sumsq: f64 = (0..n).map(|_| Sampler::rayleigh_unit_power(&mut r).powi(2)).sum();
+        let second_moment = sumsq / n as f64;
+        assert!((second_moment - 1.0).abs() < 0.02, "E[c^2] = {second_moment}");
+    }
+
+    #[test]
+    fn rayleigh_median_matches_theory() {
+        // Median of a Rayleigh with E[r²]=1 is sqrt(ln 2) ≈ 0.8326.
+        let mut r = rng(6);
+        let mut v: Vec<f64> = (0..50_001).map(|_| Sampler::rayleigh_unit_power(&mut r)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[25_000];
+        assert!((median - 0.8326).abs() < 0.01, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_db_mean_in_db_domain() {
+        let mut r = rng(7);
+        let n = 100_000;
+        let mean_db = -3.0;
+        let std_db = 6.0;
+        let sum_db: f64 = (0..n)
+            .map(|_| 20.0 * Sampler::lognormal_db(&mut r, mean_db, std_db).log10())
+            .sum();
+        let m = sum_db / n as f64;
+        assert!((m - mean_db).abs() < 0.1, "dB-domain mean {m} vs {mean_db}");
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut r = rng(8);
+        let n = 100_000;
+        let p = 0.3;
+        let hits = (0..n).filter(|_| Sampler::bernoulli(&mut r, p)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - p).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut r = rng(9);
+        assert!(Sampler::bernoulli(&mut r, 1.0));
+        assert!(Sampler::bernoulli(&mut r, 1.5));
+        assert!(!Sampler::bernoulli(&mut r, 0.0));
+        assert!(!Sampler::bernoulli(&mut r, -0.2));
+    }
+
+    #[test]
+    fn uniform_index_covers_range_uniformly() {
+        let mut r = rng(10);
+        let n = 6;
+        let trials = 60_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            let i = Sampler::uniform_index(&mut r, n);
+            assert!(i < n);
+            counts[i] += 1;
+        }
+        let expected = trials / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket {i} count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn uniform_index_rejects_empty_range() {
+        let mut r = rng(11);
+        let _ = Sampler::uniform_index(&mut r, 0);
+    }
+
+    #[test]
+    fn geometric_failures_mean() {
+        let mut r = rng(12);
+        let p = 0.25;
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| Sampler::geometric_failures(&mut r, p) as f64).sum();
+        let mean = sum / n as f64;
+        let expected = (1.0 - p) / p; // mean number of failures before success
+        assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn geometric_failures_edge_cases() {
+        let mut r = rng(13);
+        assert_eq!(Sampler::geometric_failures(&mut r, 1.0), 0);
+        assert_eq!(Sampler::geometric_failures(&mut r, 0.0), u32::MAX);
+    }
+}

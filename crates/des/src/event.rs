@@ -1,0 +1,303 @@
+//! Deterministic event calendar.
+//!
+//! A classic discrete-event future-event list: a binary heap ordered by event
+//! time with a monotonically increasing sequence number as tie-breaker, so
+//! events scheduled for the same instant are delivered in scheduling order.
+//! Determinism of the delivery order is what keeps multi-threaded parameter
+//! sweeps bit-for-bit reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event together with its activation time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// The simulation time at which the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number assigned at scheduling time.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list for payload type `E`.
+///
+/// ```
+/// use charisma_des::{EventQueue, SimTime, SimDuration};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { VoiceArrival(u32), DataBurst(u32) }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(50), Ev::DataBurst(7));
+/// q.schedule(SimTime::from_micros(20), Ev::VoiceArrival(3));
+///
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_micros(20));
+/// assert_eq!(ev, Ev::VoiceArrival(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Creates an empty calendar with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation time, i.e. the activation time of the most
+    /// recently popped event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Panics if `time` is earlier than the current simulation time: a
+    /// discrete-event simulation must never schedule into its own past.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "attempted to schedule an event at {time} which is before the current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time, seq, event });
+    }
+
+    /// The activation time of the next event, if any, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// activation time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Removes and returns the next event only if it fires at or before
+    /// `horizon`.  The clock advances to the event time on success and is
+    /// left untouched otherwise.  This is the primitive the frame-synchronous
+    /// MAC loop uses to drain all arrivals belonging to the current frame.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(entry) if entry.time <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `time` without delivering any event.  Panics if
+    /// this would move the clock backwards or skip over a pending event.
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(time >= self.now, "cannot move the clock backwards");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= time,
+                "advance_to({time}) would skip over a pending event at {next}"
+            );
+        }
+        self.now = time;
+    }
+
+    /// Drops all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        A(u32),
+        B(u32),
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), Ev::A(3));
+        q.schedule(SimTime::from_micros(10), Ev::A(1));
+        q.schedule(SimTime::from_micros(20), Ev::B(2));
+
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_micros(10), Ev::A(1)),
+                (SimTime::from_micros(20), Ev::B(2)),
+                (SimTime::from_micros(30), Ev::A(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(100);
+        for i in 0..50 {
+            q.schedule(t, Ev::A(i));
+        }
+        for i in 0..50 {
+            let (pt, ev) = q.pop().unwrap();
+            assert_eq!(pt, t);
+            assert_eq!(ev, Ev::A(i));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_micros(5), Ev::A(0));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(0));
+        q.pop();
+        q.schedule(SimTime::from_micros(5), Ev::A(1));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(1));
+        q.schedule(SimTime::from_micros(30), Ev::A(2));
+
+        assert_eq!(q.pop_until(SimTime::from_micros(20)), Some((SimTime::from_micros(10), Ev::A(1))));
+        assert_eq!(q.pop_until(SimTime::from_micros(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(SimTime::from_micros(30)), Some((SimTime::from_micros(30), Ev::A(2))));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_between_events() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.advance_to(SimTime::from_micros(2_500));
+        assert_eq!(q.now(), SimTime::from_micros(2_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip over a pending event")]
+    fn advance_to_cannot_skip_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(0));
+        q.advance_to(SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue_but_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(0));
+        q.pop();
+        q.schedule(SimTime::from_micros(20), Ev::A(1));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        let mut q = EventQueue::with_capacity(10_000);
+        // Insert pseudo-random times (derived deterministically).
+        let mut x: u64 = 0x12345;
+        for i in 0..10_000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.schedule(SimTime::from_micros(x % 1_000_000), Ev::A(i));
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn doc_style_frame_drain_pattern() {
+        // Drain all events belonging to a 2.5 ms frame, as the MAC loop does.
+        let frame = SimDuration::from_micros(2_500);
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), Ev::A(1));
+        q.schedule(SimTime::from_micros(2_400), Ev::A(2));
+        q.schedule(SimTime::from_micros(2_600), Ev::A(3));
+
+        let frame_end = SimTime::ZERO + frame;
+        let mut in_frame = vec![];
+        while let Some((_, ev)) = q.pop_until(frame_end) {
+            in_frame.push(ev);
+        }
+        assert_eq!(in_frame, vec![Ev::A(1), Ev::A(2)]);
+        assert_eq!(q.len(), 1);
+    }
+}

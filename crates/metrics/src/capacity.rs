@@ -1,0 +1,112 @@
+//! Capacity searches over measured sweep curves.
+//!
+//! The paper summarises its figures with statements such as "CHARISMA can
+//! accommodate approximately 100 voice users at the 1 % dropping-rate
+//! threshold" or "at a QoS level of (1 s, 0.25) the capacity of CHARISMA is
+//! about 1.5× that of D-TDMA/VR".  These helpers extract exactly those
+//! numbers from `(load, metric)` sweep curves by monotone linear
+//! interpolation.
+
+/// Finds the largest load at which `metric ≤ threshold`, interpolating
+/// linearly between the last compliant point and the first violating point.
+///
+/// `points` must be sorted by increasing load.  Returns:
+///
+/// * `None` if the very first point already violates the threshold (the
+///   protocol cannot even support the smallest load measured), and
+/// * the largest measured load if the threshold is never exceeded (the curve
+///   never crosses within the measured range).
+pub fn capacity_at_threshold(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    assert!(!points.is_empty(), "capacity search needs at least one sweep point");
+    assert!(
+        points.windows(2).all(|w| w[0].0 <= w[1].0),
+        "sweep points must be sorted by increasing load"
+    );
+
+    if points[0].1 > threshold {
+        return None;
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y1 > threshold {
+            // Interpolate the crossing between (x0,y0) and (x1,y1).
+            if (y1 - y0).abs() < f64::EPSILON {
+                return Some(x0);
+            }
+            let t = (threshold - y0) / (y1 - y0);
+            return Some(x0 + t.clamp(0.0, 1.0) * (x1 - x0));
+        }
+    }
+    Some(points.last().unwrap().0)
+}
+
+/// Finds the load at which a metric first crosses *below* a threshold for
+/// curves that are "good when high" (e.g. per-user throughput): the largest
+/// load with `metric ≥ threshold`.
+pub fn crossing_load(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    assert!(!points.is_empty(), "capacity search needs at least one sweep point");
+    let inverted: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x, -y)).collect();
+    capacity_at_threshold(&inverted, -threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_the_crossing() {
+        // loss of 0.5% at 80 users, 2% at 120 users: 1% is crossed at ~93.3.
+        let pts = [(40.0, 0.001), (80.0, 0.005), (120.0, 0.02)];
+        let cap = capacity_at_threshold(&pts, 0.01).unwrap();
+        assert!((cap - (80.0 + 40.0 * (0.005 / 0.015))).abs() < 1e-9, "capacity {cap}");
+    }
+
+    #[test]
+    fn returns_none_when_first_point_violates() {
+        let pts = [(10.0, 0.05), (20.0, 0.2)];
+        assert_eq!(capacity_at_threshold(&pts, 0.01), None);
+    }
+
+    #[test]
+    fn returns_last_load_when_threshold_never_crossed() {
+        let pts = [(10.0, 0.001), (20.0, 0.002), (30.0, 0.005)];
+        assert_eq!(capacity_at_threshold(&pts, 0.01), Some(30.0));
+    }
+
+    #[test]
+    fn flat_segment_at_threshold_returns_left_edge() {
+        let pts = [(10.0, 0.01), (20.0, 0.01), (30.0, 0.5)];
+        let cap = capacity_at_threshold(&pts, 0.01).unwrap();
+        assert!((cap - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by increasing load")]
+    fn unsorted_points_rejected() {
+        let pts = [(20.0, 0.001), (10.0, 0.002)];
+        let _ = capacity_at_threshold(&pts, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sweep point")]
+    fn empty_points_rejected() {
+        let _ = capacity_at_threshold(&[], 0.01);
+    }
+
+    #[test]
+    fn crossing_load_for_good_when_high_metrics() {
+        // Per-user throughput decreasing with load; threshold 0.25.
+        let pts = [(10.0, 0.9), (20.0, 0.5), (40.0, 0.2)];
+        let cap = crossing_load(&pts, 0.25).unwrap();
+        // Crossing between 20 (0.5) and 40 (0.2): 0.25 at 20 + 20*(0.25/0.3) from the top.
+        let expected = 20.0 + 20.0 * ((0.5 - 0.25) / 0.3);
+        assert!((cap - expected).abs() < 1e-9, "capacity {cap} vs {expected}");
+    }
+
+    #[test]
+    fn crossing_load_none_when_already_below() {
+        let pts = [(10.0, 0.1), (20.0, 0.05)];
+        assert_eq!(crossing_load(&pts, 0.25), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! The constant-BER adaptive PHY (ABICM) used by CHARISMA and D-TDMA/VR.
+
+use crate::modes::{AdaptationThresholds, TransmissionMode};
+use crate::Phy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive PHY.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePhyConfig {
+    /// CSI adaptation thresholds.
+    pub thresholds: AdaptationThresholds,
+    /// Per-packet error probability maintained inside the adaptation range
+    /// (the "constant BER" target expressed at packet granularity).
+    pub in_range_per: f64,
+    /// Per-packet error probability when a packet is nevertheless transmitted
+    /// while the channel is in outage (a CSI-blind scheduler such as
+    /// D-TDMA/VR will occasionally do this; CHARISMA avoids it).
+    pub outage_per: f64,
+    /// Implementation margin of a mode's operating point, in dB: when a mode
+    /// is chosen from an announced (possibly stale) CSI, the true channel may
+    /// drop this far below the mode's adaptation threshold before the error
+    /// rate starts to climb (see
+    /// [`AdaptivePhy::announced_packet_error_probability`]).
+    pub mismatch_margin_db: f64,
+    /// Slope (dB per e-fold) of the error climb once the margin is exhausted.
+    pub mismatch_slope_db: f64,
+}
+
+impl Default for AdaptivePhyConfig {
+    fn default() -> Self {
+        AdaptivePhyConfig {
+            thresholds: AdaptationThresholds::paper_default(),
+            in_range_per: 5e-4,
+            outage_per: 0.7,
+            mismatch_margin_db: 6.0,
+            mismatch_slope_db: 0.8,
+        }
+    }
+}
+
+/// The 6-mode variable-throughput channel-adaptive PHY.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePhy {
+    config: AdaptivePhyConfig,
+}
+
+impl AdaptivePhy {
+    /// Creates the adaptive PHY after validating the error probabilities.
+    pub fn new(config: AdaptivePhyConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.in_range_per), "in_range_per must be a probability");
+        assert!((0.0..=1.0).contains(&config.outage_per), "outage_per must be a probability");
+        assert!(
+            config.outage_per >= config.in_range_per,
+            "outage error probability must not be lower than the in-range error probability"
+        );
+        AdaptivePhy { config }
+    }
+
+    /// The configuration of this PHY.
+    pub fn config(&self) -> &AdaptivePhyConfig {
+        &self.config
+    }
+
+    /// The transmission mode selected at the given channel state.
+    pub fn mode_for(&self, snr_db: f64) -> TransmissionMode {
+        self.config.thresholds.select(snr_db)
+    }
+
+    /// Whether the channel is inside the adaptation range at this state.
+    pub fn in_adaptation_range(&self, snr_db: f64) -> bool {
+        self.mode_for(snr_db).is_active()
+    }
+
+    /// Per-packet error probability when the transmission mode was chosen
+    /// from an *announced* CSI value (`announced_snr_db`, e.g. the estimate
+    /// the base station held when it built the allocation schedule) but the
+    /// channel has since moved to `true_snr_db`.
+    ///
+    /// As long as the true channel stays within the mode's implementation
+    /// margin the constant-BER target still holds; once the channel falls
+    /// further below the announced mode's adaptation threshold the error rate
+    /// climbs smoothly towards the outage value.  Announcing a mode while the
+    /// terminal is in outage always yields the outage error rate.
+    pub fn announced_packet_error_probability(&self, announced_snr_db: f64, true_snr_db: f64) -> f64 {
+        let announced_mode = self.config.thresholds.select(announced_snr_db);
+        if !announced_mode.is_active() || true_snr_db.is_nan() {
+            return self.config.outage_per;
+        }
+        // Lower adaptation threshold of the announced mode.
+        let required_db = self.config.thresholds.boundaries[(announced_mode.index() - 1) as usize];
+        let x = (true_snr_db - (required_db - self.config.mismatch_margin_db))
+            / self.config.mismatch_slope_db;
+        let climb = 1.0 / (1.0 + x.exp());
+        (self.config.in_range_per + climb * self.config.outage_per).min(self.config.outage_per)
+    }
+}
+
+impl Default for AdaptivePhy {
+    fn default() -> Self {
+        AdaptivePhy::new(AdaptivePhyConfig::default())
+    }
+}
+
+impl Phy for AdaptivePhy {
+    fn packets_per_slot(&self, snr_db: f64) -> f64 {
+        self.mode_for(snr_db).normalized_throughput()
+    }
+
+    fn packet_error_probability(&self, snr_db: f64) -> f64 {
+        if self.in_adaptation_range(snr_db) {
+            self.config.in_range_per
+        } else {
+            self.config.outage_per
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "abicm-6"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::Xoshiro256StarStar;
+
+    #[test]
+    fn capacity_follows_the_mode_table() {
+        let phy = AdaptivePhy::default();
+        assert_eq!(phy.packets_per_slot(-20.0), 0.0);
+        assert_eq!(phy.packets_per_slot(-5.0), 0.5);
+        assert_eq!(phy.packets_per_slot(0.0), 1.0);
+        assert_eq!(phy.packets_per_slot(7.0), 2.0);
+        assert_eq!(phy.packets_per_slot(12.0), 3.0);
+        assert_eq!(phy.packets_per_slot(18.0), 4.0);
+        assert_eq!(phy.packets_per_slot(30.0), 5.0);
+    }
+
+    #[test]
+    fn error_probability_is_constant_inside_the_range() {
+        let phy = AdaptivePhy::default();
+        let pers: Vec<f64> = [-5.0, 0.0, 7.0, 12.0, 18.0, 30.0]
+            .iter()
+            .map(|&snr| phy.packet_error_probability(snr))
+            .collect();
+        assert!(pers.iter().all(|&p| p == 5e-4), "{pers:?}");
+        assert_eq!(phy.packet_error_probability(-20.0), 0.7);
+    }
+
+    #[test]
+    fn slots_needed_accounts_for_half_rate_mode() {
+        let phy = AdaptivePhy::default();
+        assert_eq!(phy.slots_needed(-5.0, 1), Some(2)); // mode 1 (½)
+        assert_eq!(phy.slots_needed(0.0, 3), Some(3)); // mode 2 (1)
+        assert_eq!(phy.slots_needed(30.0, 12), Some(3)); // mode 6 (5) -> ceil(12/5)
+        assert_eq!(phy.slots_needed(-20.0, 1), None); // outage
+    }
+
+    #[test]
+    fn average_capacity_is_roughly_twice_fixed_rate_at_operating_point() {
+        // Sweep the Rayleigh-faded SNR distribution around an 18 dB mean and
+        // verify the average adaptive capacity lands in the 2–3.5 packets/slot
+        // band the paper implies ("twice the average offered throughput").
+        let phy = AdaptivePhy::default();
+        let mut rng = Xoshiro256StarStar::from_seed_u64(3);
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let power = -(rng.next_f64_open().ln()); // Exp(1) Rayleigh power
+            let snr_db = 18.0 + 10.0 * power.log10();
+            acc += phy.packets_per_slot(snr_db);
+        }
+        let avg = acc / n as f64;
+        assert!((2.0..=3.5).contains(&avg), "average adaptive capacity {avg}");
+    }
+
+    #[test]
+    fn transmit_packet_rarely_fails_in_range_and_often_fails_in_outage() {
+        let phy = AdaptivePhy::default();
+        let mut rng = Xoshiro256StarStar::from_seed_u64(4);
+        let n = 20_000;
+        let in_range_fail = (0..n).filter(|_| !phy.transmit_packet(10.0, &mut rng)).count();
+        let outage_fail = (0..n).filter(|_| !phy.transmit_packet(-30.0, &mut rng)).count();
+        assert!((in_range_fail as f64) / (n as f64) < 0.01);
+        assert!((outage_fail as f64) / (n as f64) > 0.6);
+    }
+
+    #[test]
+    fn announced_error_stays_low_for_small_mismatch_and_climbs_for_large() {
+        let phy = AdaptivePhy::default();
+        // Announced mode 4 (threshold 10 dB) with the true channel still at or
+        // slightly below the estimate: error stays at the target level.
+        assert!(phy.announced_packet_error_probability(12.0, 12.0) < 2e-3);
+        assert!(phy.announced_packet_error_probability(12.0, 10.5) < 5e-3);
+        assert!(phy.announced_packet_error_probability(12.0, 8.0) < 0.10);
+        // True channel 8+ dB below the announced mode's threshold: mostly lost.
+        assert!(phy.announced_packet_error_probability(12.0, 0.0) > 0.4);
+        // Announcement made while in outage: always the outage error rate.
+        assert_eq!(phy.announced_packet_error_probability(-20.0, 15.0), 0.7);
+    }
+
+    #[test]
+    fn announced_error_is_monotone_in_true_snr() {
+        let phy = AdaptivePhy::default();
+        let mut last = 1.0;
+        let mut snr = -20.0;
+        while snr < 30.0 {
+            let p = phy.announced_packet_error_probability(18.0, snr);
+            assert!(p <= last + 1e-12, "error increased with improving channel at {snr} dB");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+            snr += 0.5;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_per_rejected() {
+        let _ = AdaptivePhy::new(AdaptivePhyConfig { in_range_per: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be lower")]
+    fn outage_per_must_dominate() {
+        let _ = AdaptivePhy::new(AdaptivePhyConfig {
+            in_range_per: 0.5,
+            outage_per: 0.1,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! # charisma-phy — variable-throughput channel-adaptive physical layer
+//!
+//! Reproduces the physical-layer abstraction of Section 4.2 of the paper:
+//!
+//! * [`modes`] — the 6-mode adaptive bit-interleaved trellis-coded-modulation
+//!   (ABICM) scheme: transmission modes with normalised throughput ½–5
+//!   bits/symbol selected by CSI adaptation thresholds, plus the "mode-0"
+//!   outage region where the target BER can no longer be maintained
+//!   (paper Fig. 7).
+//! * [`abicm`] — the constant-BER adaptive PHY used by CHARISMA and
+//!   D-TDMA/VR: given the CSI it reports how many packets an information slot
+//!   can carry and the per-packet error probability.
+//! * [`fixed`] — the fixed-throughput PHY used by the non-adaptive baselines
+//!   (D-TDMA/FR, RAMA, RMAV, DRMA): every slot carries exactly one packet and
+//!   the error probability rises sharply once the channel falls below the
+//!   (fixed) design threshold.
+//!
+//! Both PHYs implement the [`Phy`] trait so the MAC layer can be written once
+//! and parameterised by the physical layer, mirroring Fig. 3 of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod abicm;
+pub mod fixed;
+pub mod modes;
+
+pub use abicm::{AdaptivePhy, AdaptivePhyConfig};
+pub use fixed::{FixedPhy, FixedPhyConfig};
+pub use modes::{AdaptationThresholds, TransmissionMode};
+
+use charisma_des::Xoshiro256StarStar;
+
+/// The interface the MAC layer sees of a physical layer.
+///
+/// The trait captures exactly the two quantities the uplink protocols need:
+/// how many information packets a slot can carry at a given channel state
+/// (the *offered throughput*) and how likely a transmitted packet is to be
+/// corrupted (the *transmission error*).
+pub trait Phy {
+    /// Number of information packets one information slot can carry at the
+    /// given channel state.  `0.0` means the channel is in outage for this
+    /// PHY; `0.5` means a packet needs two slots.
+    fn packets_per_slot(&self, snr_db: f64) -> f64;
+
+    /// Probability that a single packet transmitted at this channel state is
+    /// received in error.
+    fn packet_error_probability(&self, snr_db: f64) -> f64;
+
+    /// Number of information slots needed to carry `packets` packets at the
+    /// given channel state, or `None` if the channel is in outage (no finite
+    /// number of slots achieves the target error rate).
+    fn slots_needed(&self, snr_db: f64, packets: u32) -> Option<u32> {
+        if packets == 0 {
+            return Some(0);
+        }
+        let cap = self.packets_per_slot(snr_db);
+        if cap <= 0.0 {
+            None
+        } else {
+            Some(((packets as f64) / cap).ceil() as u32)
+        }
+    }
+
+    /// Simulates the transmission of one packet: returns `true` when the
+    /// packet is delivered without error.
+    fn transmit_packet(&self, snr_db: f64, rng: &mut Xoshiro256StarStar) -> bool {
+        charisma_des::Sampler::bernoulli(rng, 1.0 - self.packet_error_probability(snr_db))
+    }
+
+    /// A short human-readable name used in reports ("abicm-6" / "fixed").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    struct Half;
+    impl Phy for Half {
+        fn packets_per_slot(&self, _snr_db: f64) -> f64 {
+            0.5
+        }
+        fn packet_error_probability(&self, _snr_db: f64) -> f64 {
+            0.0
+        }
+        fn name(&self) -> &'static str {
+            "half"
+        }
+    }
+
+    struct Outage;
+    impl Phy for Outage {
+        fn packets_per_slot(&self, _snr_db: f64) -> f64 {
+            0.0
+        }
+        fn packet_error_probability(&self, _snr_db: f64) -> f64 {
+            1.0
+        }
+        fn name(&self) -> &'static str {
+            "outage"
+        }
+    }
+
+    #[test]
+    fn default_slots_needed_rounds_up() {
+        let phy = Half;
+        assert_eq!(phy.slots_needed(0.0, 0), Some(0));
+        assert_eq!(phy.slots_needed(0.0, 1), Some(2));
+        assert_eq!(phy.slots_needed(0.0, 3), Some(6));
+    }
+
+    #[test]
+    fn outage_phy_reports_no_finite_slot_count() {
+        let phy = Outage;
+        assert_eq!(phy.slots_needed(0.0, 1), None);
+        assert_eq!(phy.slots_needed(0.0, 0), Some(0));
+    }
+
+    #[test]
+    fn transmit_packet_respects_error_probability_extremes() {
+        let mut rng = charisma_des::Xoshiro256StarStar::from_seed_u64(1);
+        assert!(Half.transmit_packet(0.0, &mut rng));
+        assert!(!Outage.transmit_packet(0.0, &mut rng));
+    }
+}

@@ -1,0 +1,151 @@
+//! Channel state information (CSI) estimation and staleness tracking.
+//!
+//! In CHARISMA the base station learns each terminal's CSI from pilot symbols
+//! embedded in request packets, and refreshes the CSI of backlogged requests
+//! through the poll-for-CSI / pilot-symbol subframes (Section 4.4).  An
+//! estimate is modelled as the true instantaneous SNR plus a small Gaussian
+//! estimation error, together with the time it was taken; the paper argues an
+//! estimate remains valid for about two frames (5 ms) because the short-term
+//! coherence time is ≈ 10 ms.
+
+use charisma_des::{Sampler, SimDuration, SimTime, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// A timestamped CSI estimate held by the base station for one terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsiEstimate {
+    /// Estimated instantaneous SNR in dB.
+    pub snr_db: f64,
+    /// Simulation time at which the pilot symbols were observed.
+    pub estimated_at: SimTime,
+}
+
+impl CsiEstimate {
+    /// Whether the estimate is still valid at `now` given a validity window.
+    pub fn is_fresh(&self, now: SimTime, validity: SimDuration) -> bool {
+        now.saturating_duration_since(self.estimated_at) <= validity
+    }
+
+    /// Age of the estimate at `now`.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.saturating_duration_since(self.estimated_at)
+    }
+}
+
+/// Configuration of the pilot-symbol CSI estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsiEstimatorConfig {
+    /// Standard deviation of the estimation error in dB (0 ⇒ perfect CSI).
+    pub error_std_db: f64,
+    /// How long an estimate remains usable before the MAC must poll for a
+    /// refresh.  The paper uses two frame durations (5 ms).
+    pub validity: SimDuration,
+}
+
+impl Default for CsiEstimatorConfig {
+    fn default() -> Self {
+        CsiEstimatorConfig { error_std_db: 0.5, validity: SimDuration::from_micros(5_000) }
+    }
+}
+
+/// Pilot-symbol CSI estimator used by the base station.
+#[derive(Debug, Clone)]
+pub struct CsiEstimator {
+    config: CsiEstimatorConfig,
+    rng: Xoshiro256StarStar,
+}
+
+impl CsiEstimator {
+    /// Creates an estimator with its own noise stream.
+    pub fn new(config: CsiEstimatorConfig, rng: Xoshiro256StarStar) -> Self {
+        assert!(config.error_std_db >= 0.0, "estimation error std must be non-negative");
+        CsiEstimator { config, rng }
+    }
+
+    /// The estimator configuration.
+    pub fn config(&self) -> &CsiEstimatorConfig {
+        &self.config
+    }
+
+    /// Produces an estimate of `true_snr_db` observed at time `now`.
+    pub fn estimate(&mut self, true_snr_db: f64, now: SimTime) -> CsiEstimate {
+        let noise = if self.config.error_std_db > 0.0 {
+            Sampler::normal(&mut self.rng, 0.0, self.config.error_std_db)
+        } else {
+            0.0
+        };
+        CsiEstimate { snr_db: true_snr_db + noise, estimated_at: now }
+    }
+
+    /// Whether an estimate taken at `estimated_at` is still fresh at `now`
+    /// under this estimator's validity window.
+    pub fn is_fresh(&self, estimate: &CsiEstimate, now: SimTime) -> bool {
+        estimate.is_fresh(now, self.config.validity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::{RngStreams, StreamId};
+
+    fn estimator(error_std_db: f64) -> CsiEstimator {
+        let streams = RngStreams::new(42);
+        CsiEstimator::new(
+            CsiEstimatorConfig { error_std_db, validity: SimDuration::from_micros(5_000) },
+            streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, 0)),
+        )
+    }
+
+    #[test]
+    fn perfect_estimator_returns_truth() {
+        let mut e = estimator(0.0);
+        let est = e.estimate(12.34, SimTime::from_micros(100));
+        assert_eq!(est.snr_db, 12.34);
+        assert_eq!(est.estimated_at, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn noisy_estimator_is_unbiased_with_configured_spread() {
+        let mut e = estimator(1.0);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let v = e.estimate(10.0, SimTime::ZERO).snr_db - 10.0;
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.02, "bias {mean}");
+        assert!((std - 1.0).abs() < 0.02, "spread {std}");
+    }
+
+    #[test]
+    fn freshness_window_is_inclusive() {
+        let e = estimator(0.0);
+        let est = CsiEstimate { snr_db: 0.0, estimated_at: SimTime::from_micros(1_000) };
+        assert!(e.is_fresh(&est, SimTime::from_micros(1_000)));
+        assert!(e.is_fresh(&est, SimTime::from_micros(6_000))); // exactly 5 ms old
+        assert!(!e.is_fresh(&est, SimTime::from_micros(6_001)));
+    }
+
+    #[test]
+    fn age_is_zero_for_future_estimates() {
+        // An estimate "from the future" (possible only through misuse) reports
+        // zero age rather than panicking, so MAC bookkeeping stays total.
+        let est = CsiEstimate { snr_db: 0.0, estimated_at: SimTime::from_micros(10) };
+        assert_eq!(est.age(SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_error_std_rejected() {
+        let streams = RngStreams::new(1);
+        let _ = CsiEstimator::new(
+            CsiEstimatorConfig { error_std_db: -1.0, validity: SimDuration::from_micros(5_000) },
+            streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, 0)),
+        );
+    }
+}

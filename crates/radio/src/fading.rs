@@ -1,0 +1,260 @@
+//! Short-term Rayleigh fading and long-term log-normal shadowing processes.
+//!
+//! Both processes are modelled as first-order Gauss–Markov (AR(1)) processes,
+//! which is the standard discrete-time substitute for measured fading traces:
+//! it preserves the marginal distribution (Rayleigh envelope with unit
+//! mean-square power; log-normal local mean) and the temporal correlation
+//! scale (coherence time ≈ 10 ms for fast fading at 50 km/h, ≈ 1 s for
+//! shadowing), which are the two properties the CHARISMA evaluation depends
+//! on.  The autocorrelation is exponential, `ρ(Δ) = exp(−Δ/T_c)`; the paper's
+//! Jakes-spectrum channel has an oscillating (Bessel) autocorrelation instead,
+//! but over the 2.5 ms frame both models agree that the channel is
+//! approximately constant, and over ≥ T_c both agree it has decorrelated.
+
+use charisma_des::{Sampler, SimDuration, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Complex-Gaussian short-term fading process with Rayleigh envelope and
+/// `E[c_s²] = 1` (the paper's normalisation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortTermFading {
+    /// In-phase component, `N(0, 1/2)` at stationarity.
+    x: f64,
+    /// Quadrature component, `N(0, 1/2)` at stationarity.
+    y: f64,
+    /// Coherence time controlling the AR(1) correlation.
+    coherence: SimDuration,
+}
+
+impl ShortTermFading {
+    /// Creates a process with the given coherence time, drawing the initial
+    /// state from the stationary distribution.
+    pub fn new(coherence: SimDuration, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(!coherence.is_zero(), "coherence time must be non-zero");
+        let sigma = std::f64::consts::FRAC_1_SQRT_2;
+        ShortTermFading {
+            x: sigma * Sampler::standard_normal(rng),
+            y: sigma * Sampler::standard_normal(rng),
+            coherence,
+        }
+    }
+
+    /// The coherence time of the process.
+    pub fn coherence(&self) -> SimDuration {
+        self.coherence
+    }
+
+    /// Advances the process by `dt` and returns the new envelope.
+    pub fn step(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
+        if dt.is_zero() {
+            return self.envelope();
+        }
+        let rho = (-(dt.as_secs_f64() / self.coherence.as_secs_f64())).exp();
+        let innovation = (1.0 - rho * rho).sqrt() * std::f64::consts::FRAC_1_SQRT_2;
+        self.x = rho * self.x + innovation * Sampler::standard_normal(rng);
+        self.y = rho * self.y + innovation * Sampler::standard_normal(rng);
+        self.envelope()
+    }
+
+    /// The current fading envelope `c_s ≥ 0`.
+    pub fn envelope(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// The current fading power `c_s²`.
+    pub fn power(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+}
+
+/// Configuration of the long-term (shadowing) component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingConfig {
+    /// Mean of the local mean in dB (`m_l` in the paper).
+    pub mean_db: f64,
+    /// Standard deviation of the local mean in dB (`σ_l`).
+    pub std_db: f64,
+    /// Correlation time of the shadowing process (≈ 1 s per the paper).
+    pub correlation_time: SimDuration,
+}
+
+impl Default for ShadowingConfig {
+    fn default() -> Self {
+        ShadowingConfig {
+            mean_db: 0.0,
+            std_db: 6.0,
+            correlation_time: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Log-normal long-term shadowing (the "local mean"), evolved as an AR(1)
+/// process on its dB value so the marginal stays exactly log-normal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongTermShadowing {
+    /// Current deviation from the mean, in dB.
+    deviation_db: f64,
+    config: ShadowingConfig,
+}
+
+impl LongTermShadowing {
+    /// Creates a shadowing process, drawing the initial state from the
+    /// stationary `N(mean_db, std_db²)` distribution.
+    pub fn new(config: ShadowingConfig, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(config.std_db >= 0.0, "shadowing std must be non-negative");
+        assert!(!config.correlation_time.is_zero(), "shadowing correlation time must be non-zero");
+        LongTermShadowing {
+            deviation_db: config.std_db * Sampler::standard_normal(rng),
+            config,
+        }
+    }
+
+    /// The configuration this process was built with.
+    pub fn config(&self) -> &ShadowingConfig {
+        &self.config
+    }
+
+    /// Advances the process by `dt` and returns the new local mean in dB.
+    pub fn step(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
+        if !dt.is_zero() && self.config.std_db > 0.0 {
+            let rho = (-(dt.as_secs_f64() / self.config.correlation_time.as_secs_f64())).exp();
+            self.deviation_db = rho * self.deviation_db
+                + (1.0 - rho * rho).sqrt() * self.config.std_db * Sampler::standard_normal(rng);
+        }
+        self.local_mean_db()
+    }
+
+    /// The current local mean in dB (`20·log10(c_l)`).
+    pub fn local_mean_db(&self) -> f64 {
+        self.config.mean_db + self.deviation_db
+    }
+
+    /// The current local mean as a linear amplitude gain `c_l`.
+    pub fn local_mean_linear(&self) -> f64 {
+        10f64.powf(self.local_mean_db() / 20.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::from_seed_u64(seed)
+    }
+
+    #[test]
+    fn short_term_power_is_unit_on_average() {
+        let mut r = rng(1);
+        let mut f = ShortTermFading::new(SimDuration::from_millis(10), &mut r);
+        let dt = SimDuration::from_millis(20); // > Tc so samples are near-independent
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            f.step(dt, &mut r);
+            sum += f.power();
+        }
+        let mean_power = sum / n as f64;
+        assert!((mean_power - 1.0).abs() < 0.03, "E[c_s^2] = {mean_power}");
+    }
+
+    #[test]
+    fn short_term_is_correlated_within_a_frame_and_decorrelated_beyond_tc() {
+        let mut r = rng(2);
+        let tc = SimDuration::from_millis(10);
+        let frame = SimDuration::from_micros(2_500);
+
+        // Correlation of power at lag = one frame should be clearly positive;
+        // at lag = 10×Tc it should be near zero.
+        let corr = |lag: SimDuration, r: &mut Xoshiro256StarStar| -> f64 {
+            let mut f = ShortTermFading::new(tc, r);
+            let n = 40_000;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                f.step(lag, r);
+                xs.push(f.power());
+            }
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let cov = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / (n - 1) as f64;
+            cov / var
+        };
+
+        let within_frame = corr(frame, &mut r);
+        let beyond_tc = corr(SimDuration::from_millis(100), &mut r);
+        assert!(within_frame > 0.5, "frame-lag correlation {within_frame}");
+        assert!(beyond_tc.abs() < 0.1, "10×Tc-lag correlation {beyond_tc}");
+    }
+
+    #[test]
+    fn short_term_zero_dt_is_identity() {
+        let mut r = rng(3);
+        let mut f = ShortTermFading::new(SimDuration::from_millis(10), &mut r);
+        let before = f.envelope();
+        let after = f.step(SimDuration::ZERO, &mut r);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn envelope_is_never_negative() {
+        let mut r = rng(4);
+        let mut f = ShortTermFading::new(SimDuration::from_millis(10), &mut r);
+        for _ in 0..10_000 {
+            assert!(f.step(SimDuration::from_micros(2_500), &mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shadowing_marginal_statistics_match_config() {
+        let mut r = rng(5);
+        let cfg = ShadowingConfig { mean_db: -2.0, std_db: 6.0, correlation_time: SimDuration::from_secs(1) };
+        let mut s = LongTermShadowing::new(cfg, &mut r);
+        // Sample at lags of 10 s so draws are essentially independent.
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let v = s.step(SimDuration::from_secs(10), &mut r);
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!((mean + 2.0).abs() < 0.2, "mean {mean}");
+        assert!((std - 6.0).abs() < 0.2, "std {std}");
+    }
+
+    #[test]
+    fn shadowing_is_slow_relative_to_frames() {
+        let mut r = rng(6);
+        let cfg = ShadowingConfig::default();
+        let mut s = LongTermShadowing::new(cfg, &mut r);
+        let start = s.local_mean_db();
+        // Over 8 frames (20 ms) shadowing should barely move (≪ 1 std).
+        for _ in 0..8 {
+            s.step(SimDuration::from_micros(2_500), &mut r);
+        }
+        assert!((s.local_mean_db() - start).abs() < 0.75 * cfg.std_db);
+    }
+
+    #[test]
+    fn zero_std_shadowing_is_constant() {
+        let mut r = rng(7);
+        let cfg = ShadowingConfig { mean_db: 3.0, std_db: 0.0, correlation_time: SimDuration::from_secs(1) };
+        let mut s = LongTermShadowing::new(cfg, &mut r);
+        for _ in 0..100 {
+            assert_eq!(s.step(SimDuration::from_millis(100), &mut r), 3.0);
+        }
+        assert!((s.local_mean_linear() - 10f64.powf(3.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_and_linear_views_are_consistent() {
+        let mut r = rng(8);
+        let s = LongTermShadowing::new(ShadowingConfig::default(), &mut r);
+        let db = s.local_mean_db();
+        let lin = s.local_mean_linear();
+        assert!((20.0 * lin.log10() - db).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! # charisma-radio — wireless channel substrate
+//!
+//! Models the uplink radio channel of the paper (Section 4.2):
+//!
+//! * **Short-term (fast) fading** — Rayleigh-distributed envelope caused by
+//!   multipath superposition, fluctuating on the order of a few milliseconds.
+//!   The paper normalises it to unit mean-square power and ties its rate of
+//!   change to the Doppler spread (`f_d ≈ 100 Hz` at the assumed 50 km/h mean
+//!   speed, giving a coherence time `T_c ≈ 1/f_d ≈ 10 ms`).
+//! * **Long-term shadowing** — log-normal "local mean" caused by terrain and
+//!   obstacles, fluctuating over roughly one second.
+//! * **Combined channel** — `c(t) = c_l(t) · c_s(t)`, independent across
+//!   terminals because terminals are geographically scattered and move
+//!   independently.
+//! * **CSI estimation** — the base station estimates the channel from pilot
+//!   symbols embedded in request packets (or obtained via CSI polling for
+//!   backlogged requests); estimates carry a timestamp so the MAC layer can
+//!   reason about staleness exactly as CHARISMA's CSI-refresh mechanism does.
+//!
+//! The fading processes are implemented as first-order Gauss–Markov
+//! (autoregressive) processes whose single parameter is matched to the
+//! coherence time, which reproduces the two properties the MAC results depend
+//! on: the marginal distributions (Rayleigh / log-normal) and the temporal
+//! correlation relative to the 2.5 ms frame.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod csi;
+pub mod fading;
+pub mod mobility;
+
+pub use channel::{ChannelConfig, CombinedChannel};
+pub use csi::{CsiEstimate, CsiEstimator, CsiEstimatorConfig};
+pub use fading::{LongTermShadowing, ShadowingConfig, ShortTermFading};
+pub use mobility::{doppler_hz, Mobility, SpeedProfile, CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT_M_S};

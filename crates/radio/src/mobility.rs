@@ -1,0 +1,192 @@
+//! Terminal mobility and its mapping to Doppler spread / coherence time.
+//!
+//! The paper assumes a mean terminal speed of 50 km/h and a maximum of
+//! 80 km/h, quotes a Doppler spread of roughly 100 Hz and uses
+//! `T_c ≈ 1 / f_d ≈ 10 ms` as the short-term fading coherence time.  Those
+//! numbers are consistent with a carrier around 2 GHz, which is what we adopt
+//! as the default.
+
+use charisma_des::{Sampler, SimDuration, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in metres per second.
+pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;
+
+/// Default carrier frequency (2 GHz), consistent with the paper's quoted
+/// Doppler spread of ~100 Hz at ~50 km/h.
+pub const CARRIER_FREQUENCY_HZ: f64 = 2.0e9;
+
+/// Maximum Doppler spread `f_d = v·f_c / c` for a terminal moving at
+/// `speed_kmh`, in Hz.
+pub fn doppler_hz(speed_kmh: f64, carrier_hz: f64) -> f64 {
+    assert!(speed_kmh >= 0.0, "speed must be non-negative");
+    assert!(carrier_hz > 0.0, "carrier frequency must be positive");
+    let v = speed_kmh / 3.6;
+    v * carrier_hz / SPEED_OF_LIGHT_M_S
+}
+
+/// How per-terminal speeds are assigned in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// Every terminal moves at the same fixed speed (km/h).
+    Fixed(f64),
+    /// Speeds are drawn uniformly per terminal between `min_kmh` and
+    /// `max_kmh` (the paper's "mean 50 km/h, maximum 80 km/h" population is
+    /// approximated by `Uniform(20, 80)`).
+    Uniform {
+        /// Lower bound in km/h.
+        min_kmh: f64,
+        /// Upper bound in km/h.
+        max_kmh: f64,
+    },
+}
+
+impl SpeedProfile {
+    /// The paper's default population: mean 50 km/h, maximum 80 km/h.
+    pub fn paper_default() -> Self {
+        SpeedProfile::Uniform { min_kmh: 20.0, max_kmh: 80.0 }
+    }
+
+    /// Draws a speed for one terminal.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        match *self {
+            SpeedProfile::Fixed(v) => {
+                assert!(v >= 0.0, "fixed speed must be non-negative");
+                v
+            }
+            SpeedProfile::Uniform { min_kmh, max_kmh } => {
+                assert!(
+                    (0.0..=max_kmh).contains(&min_kmh),
+                    "invalid speed range [{min_kmh}, {max_kmh}]"
+                );
+                min_kmh + (max_kmh - min_kmh) * rng.next_f64()
+            }
+        }
+    }
+
+    /// Mean of the profile (used for reporting).
+    pub fn mean_kmh(&self) -> f64 {
+        match *self {
+            SpeedProfile::Fixed(v) => v,
+            SpeedProfile::Uniform { min_kmh, max_kmh } => 0.5 * (min_kmh + max_kmh),
+        }
+    }
+}
+
+/// The mobility state of one terminal: its speed and the derived fading
+/// time constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mobility {
+    /// Terminal speed in km/h.
+    pub speed_kmh: f64,
+    /// Maximum Doppler spread in Hz.
+    pub doppler_hz: f64,
+}
+
+impl Mobility {
+    /// Creates the mobility state for a terminal at `speed_kmh` with the
+    /// default carrier frequency.
+    pub fn new(speed_kmh: f64) -> Self {
+        Self::with_carrier(speed_kmh, CARRIER_FREQUENCY_HZ)
+    }
+
+    /// Creates the mobility state with an explicit carrier frequency.
+    pub fn with_carrier(speed_kmh: f64, carrier_hz: f64) -> Self {
+        Mobility { speed_kmh, doppler_hz: doppler_hz(speed_kmh, carrier_hz) }
+    }
+
+    /// Draws a terminal's mobility from a [`SpeedProfile`].
+    pub fn from_profile(profile: &SpeedProfile, rng: &mut Xoshiro256StarStar) -> Self {
+        Mobility::new(profile.sample(rng))
+    }
+
+    /// Short-term fading coherence time `T_c ≈ 1 / f_d`, as used by the paper
+    /// (eq. (1)).  A stationary terminal is given a very long (but finite)
+    /// coherence time instead of infinity so AR coefficients stay defined.
+    pub fn coherence_time(&self) -> SimDuration {
+        if self.doppler_hz <= 1e-9 {
+            return SimDuration::from_secs(3600);
+        }
+        SimDuration::from_secs_f64(1.0 / self.doppler_hz)
+    }
+
+    /// Convenience wrapper used by traffic/radio setup code to derive a speed
+    /// with a dedicated RNG stream, keeping speed draws independent of fading
+    /// draws.
+    pub fn sample_speed(profile: &SpeedProfile, rng: &mut Xoshiro256StarStar) -> f64 {
+        let _ = Sampler::bernoulli(rng, 0.0); // keep the stream "touched" even for Fixed profiles
+        profile.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::Xoshiro256StarStar;
+
+    #[test]
+    fn doppler_matches_papers_figure() {
+        // ~50 km/h at 2 GHz ≈ 93 Hz; the paper rounds to 100 Hz.
+        let fd = doppler_hz(50.0, CARRIER_FREQUENCY_HZ);
+        assert!((85.0..105.0).contains(&fd), "fd = {fd}");
+        // 80 km/h upper bound ≈ 148 Hz.
+        let fd80 = doppler_hz(80.0, CARRIER_FREQUENCY_HZ);
+        assert!((135.0..160.0).contains(&fd80), "fd80 = {fd80}");
+    }
+
+    #[test]
+    fn coherence_time_near_10ms_at_50kmh() {
+        let m = Mobility::new(50.0);
+        let tc = m.coherence_time().as_millis_f64();
+        assert!((8.0..13.0).contains(&tc), "Tc = {tc} ms");
+    }
+
+    #[test]
+    fn stationary_terminal_gets_long_coherence() {
+        let m = Mobility::new(0.0);
+        assert!(m.coherence_time() >= SimDuration::from_secs(3600));
+    }
+
+    #[test]
+    fn doppler_scales_linearly_with_speed() {
+        let a = doppler_hz(10.0, CARRIER_FREQUENCY_HZ);
+        let b = doppler_hz(20.0, CARRIER_FREQUENCY_HZ);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_speed_rejected() {
+        let _ = doppler_hz(-1.0, CARRIER_FREQUENCY_HZ);
+    }
+
+    #[test]
+    fn uniform_profile_samples_in_range_with_correct_mean() {
+        let profile = SpeedProfile::Uniform { min_kmh: 20.0, max_kmh: 80.0 };
+        let mut rng = Xoshiro256StarStar::from_seed_u64(11);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = profile.sample(&mut rng);
+            assert!((20.0..=80.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean speed {mean}");
+        assert_eq!(profile.mean_kmh(), 50.0);
+    }
+
+    #[test]
+    fn fixed_profile_is_constant() {
+        let mut rng = Xoshiro256StarStar::from_seed_u64(1);
+        let profile = SpeedProfile::Fixed(30.0);
+        for _ in 0..10 {
+            assert_eq!(profile.sample(&mut rng), 30.0);
+        }
+    }
+
+    #[test]
+    fn paper_default_profile_mean_is_50() {
+        assert_eq!(SpeedProfile::paper_default().mean_kmh(), 50.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-terminal transmit buffers.
+//!
+//! * [`VoiceBuffer`] keeps the (small number of) speech packets awaiting
+//!   transmission together with their absolute deadlines, and drops packets
+//!   whose deadline passes before they are sent — the "packet dropping"
+//!   component of the paper's voice loss metric.
+//! * [`DataBuffer`] is a FIFO of file-data packets that remembers each
+//!   packet's arrival time so the average data delay (time from arrival to
+//!   the start of its successful transmission) can be measured exactly.
+
+use charisma_des::SimTime;
+use std::collections::VecDeque;
+
+/// A speech packet awaiting transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoicePacket {
+    /// Time the packet was generated.
+    pub generated_at: SimTime,
+    /// Absolute deadline; the packet is dropped if still queued at this time.
+    pub deadline: SimTime,
+}
+
+/// Deadline-aware buffer for voice packets.
+#[derive(Debug, Clone, Default)]
+pub struct VoiceBuffer {
+    queue: VecDeque<VoicePacket>,
+}
+
+impl VoiceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        VoiceBuffer { queue: VecDeque::new() }
+    }
+
+    /// Number of packets waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a freshly generated packet.
+    pub fn push(&mut self, packet: VoicePacket) {
+        debug_assert!(packet.deadline >= packet.generated_at);
+        self.queue.push_back(packet);
+    }
+
+    /// Drops every queued packet whose deadline is at or before `now` and
+    /// returns how many were dropped.
+    pub fn drop_expired(&mut self, now: SimTime) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|p| p.deadline > now);
+        before - self.queue.len()
+    }
+
+    /// The earliest deadline among queued packets, if any.
+    pub fn earliest_deadline(&self) -> Option<SimTime> {
+        self.queue.iter().map(|p| p.deadline).min()
+    }
+
+    /// Removes and returns the head-of-line packet (oldest first).
+    pub fn pop(&mut self) -> Option<VoicePacket> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the head-of-line packet.
+    pub fn peek(&self) -> Option<&VoicePacket> {
+        self.queue.front()
+    }
+}
+
+/// A contiguous run of data packets that arrived together (one burst or a
+/// fragment of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DataRun {
+    arrived_at: SimTime,
+    count: u32,
+}
+
+/// Packets removed from a [`DataBuffer`] for transmission, grouped by arrival
+/// time so per-packet delays can be accumulated without storing each packet
+/// individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedRun {
+    /// When these packets arrived at the terminal.
+    pub arrived_at: SimTime,
+    /// How many packets of that arrival are being served now.
+    pub count: u32,
+}
+
+/// FIFO buffer for file-data packets.
+#[derive(Debug, Clone, Default)]
+pub struct DataBuffer {
+    runs: VecDeque<DataRun>,
+    len: u64,
+}
+
+impl DataBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        DataBuffer { runs: VecDeque::new(), len: 0 }
+    }
+
+    /// Number of packets waiting.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `count` packets that all arrived at `arrived_at`.
+    pub fn push_burst(&mut self, arrived_at: SimTime, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.back_mut() {
+            if last.arrived_at == arrived_at {
+                last.count += count;
+                self.len += count as u64;
+                return;
+            }
+        }
+        self.runs.push_back(DataRun { arrived_at, count });
+        self.len += count as u64;
+    }
+
+    /// Removes up to `max_packets` packets in FIFO order and returns them
+    /// grouped by arrival time.
+    pub fn pop(&mut self, max_packets: u32) -> Vec<ServedRun> {
+        let mut remaining = max_packets;
+        let mut served = Vec::new();
+        while remaining > 0 {
+            let Some(front) = self.runs.front_mut() else { break };
+            let take = front.count.min(remaining);
+            served.push(ServedRun { arrived_at: front.arrived_at, count: take });
+            front.count -= take;
+            remaining -= take;
+            self.len -= take as u64;
+            if front.count == 0 {
+                self.runs.pop_front();
+            }
+        }
+        served
+    }
+
+    /// Re-inserts `count` packets at the *front* of the queue with the given
+    /// arrival time.  Used for retransmissions: a packet corrupted by the
+    /// channel keeps its original arrival time (so its eventual delay
+    /// includes the retransmission) and its FIFO position.
+    pub fn push_front(&mut self, arrived_at: SimTime, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(front) = self.runs.front_mut() {
+            if front.arrived_at == arrived_at {
+                front.count += count;
+                self.len += count as u64;
+                return;
+            }
+        }
+        self.runs.push_front(DataRun { arrived_at, count });
+        self.len += count as u64;
+    }
+
+    /// Arrival time of the head-of-line packet, if any.
+    pub fn head_arrival(&self) -> Option<SimTime> {
+        self.runs.front().map(|r| r.arrived_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn voice_buffer_drops_only_expired_packets() {
+        let mut b = VoiceBuffer::new();
+        b.push(VoicePacket { generated_at: t(0), deadline: t(20_000) });
+        b.push(VoicePacket { generated_at: t(20_000), deadline: t(40_000) });
+        assert_eq!(b.len(), 2);
+
+        assert_eq!(b.drop_expired(t(10_000)), 0);
+        assert_eq!(b.drop_expired(t(20_000)), 1); // deadline at `now` counts as expired
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.earliest_deadline(), Some(t(40_000)));
+    }
+
+    #[test]
+    fn voice_buffer_is_fifo() {
+        let mut b = VoiceBuffer::new();
+        b.push(VoicePacket { generated_at: t(0), deadline: t(20_000) });
+        b.push(VoicePacket { generated_at: t(20_000), deadline: t(40_000) });
+        assert_eq!(b.pop().unwrap().generated_at, t(0));
+        assert_eq!(b.peek().unwrap().generated_at, t(20_000));
+        assert_eq!(b.pop().unwrap().generated_at, t(20_000));
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn data_buffer_len_tracks_pushes_and_pops() {
+        let mut b = DataBuffer::new();
+        assert!(b.is_empty());
+        b.push_burst(t(0), 100);
+        b.push_burst(t(2_500), 50);
+        assert_eq!(b.len(), 150);
+
+        let served = b.pop(30);
+        assert_eq!(served, vec![ServedRun { arrived_at: t(0), count: 30 }]);
+        assert_eq!(b.len(), 120);
+
+        let served = b.pop(100);
+        assert_eq!(
+            served,
+            vec![
+                ServedRun { arrived_at: t(0), count: 70 },
+                ServedRun { arrived_at: t(2_500), count: 30 },
+            ]
+        );
+        assert_eq!(b.len(), 20);
+        assert_eq!(b.head_arrival(), Some(t(2_500)));
+    }
+
+    #[test]
+    fn data_buffer_pop_more_than_available_drains_it() {
+        let mut b = DataBuffer::new();
+        b.push_burst(t(0), 5);
+        let served = b.pop(100);
+        assert_eq!(served.iter().map(|r| r.count).sum::<u32>(), 5);
+        assert!(b.is_empty());
+        assert!(b.pop(10).is_empty());
+    }
+
+    #[test]
+    fn data_buffer_merges_same_instant_bursts() {
+        let mut b = DataBuffer::new();
+        b.push_burst(t(0), 10);
+        b.push_burst(t(0), 15);
+        assert_eq!(b.len(), 25);
+        let served = b.pop(25);
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].count, 25);
+    }
+
+    #[test]
+    fn zero_count_burst_is_a_noop() {
+        let mut b = DataBuffer::new();
+        b.push_burst(t(0), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.head_arrival(), None);
+    }
+
+    #[test]
+    fn push_front_preserves_fifo_order_for_retransmissions() {
+        let mut b = DataBuffer::new();
+        b.push_burst(t(1_000), 10);
+        let served = b.pop(3);
+        assert_eq!(served[0].count, 3);
+        // Two of the three failed: put them back at the front.
+        b.push_front(t(1_000), 2);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.head_arrival(), Some(t(1_000)));
+        let next = b.pop(9);
+        assert_eq!(next.iter().map(|r| r.count).sum::<u32>(), 9);
+    }
+
+    #[test]
+    fn push_front_with_distinct_arrival_creates_new_run() {
+        let mut b = DataBuffer::new();
+        b.push_burst(t(5_000), 4);
+        b.push_front(t(1_000), 2);
+        assert_eq!(b.head_arrival(), Some(t(1_000)));
+        let served = b.pop(6);
+        assert_eq!(served[0], ServedRun { arrived_at: t(1_000), count: 2 });
+        assert_eq!(served[1], ServedRun { arrived_at: t(5_000), count: 4 });
+        assert_eq!(b.len(), 0);
+        b.push_front(t(2_000), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn voice_deadline_arithmetic_with_durations() {
+        let gen = t(50_000);
+        let p = VoicePacket { generated_at: gen, deadline: gen + SimDuration::from_millis(20) };
+        assert_eq!(p.deadline, t(70_000));
+    }
+}

@@ -1,0 +1,193 @@
+//! The file-data source model.
+//!
+//! A data terminal generates *bursts* (files) whose inter-arrival times are
+//! exponentially distributed with mean 1 s, and whose size in packets is
+//! exponentially distributed with mean 100 packets (rounded up to at least
+//! one whole packet).  All packets of a burst arrive together at a frame
+//! boundary, as the paper assumes.
+
+use charisma_des::{FrameClock, Sampler, SimDuration, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the data source (paper Table 1 values by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataSourceConfig {
+    /// Mean burst inter-arrival time.
+    pub mean_interarrival: SimDuration,
+    /// Mean burst size in packets.
+    pub mean_burst_packets: f64,
+}
+
+impl Default for DataSourceConfig {
+    fn default() -> Self {
+        DataSourceConfig {
+            mean_interarrival: SimDuration::from_secs(1),
+            mean_burst_packets: 100.0,
+        }
+    }
+}
+
+impl DataSourceConfig {
+    /// Long-run offered load in packets per frame for the given frame clock:
+    /// `mean_burst / mean_interarrival × frame_duration`.
+    pub fn offered_packets_per_frame(&self, clock: &FrameClock) -> f64 {
+        self.mean_burst_packets * clock.frame_duration().as_secs_f64()
+            / self.mean_interarrival.as_secs_f64()
+    }
+}
+
+/// A single terminal's data source.
+///
+/// Driven frame-synchronously like the voice source: [`DataSource::on_frame_start`]
+/// returns the number of packets that arrive at that frame boundary.
+#[derive(Debug, Clone)]
+pub struct DataSource {
+    config: DataSourceConfig,
+    clock: FrameClock,
+    rng: Xoshiro256StarStar,
+    /// Frame index at which the next burst arrives.
+    next_burst_frame: u64,
+    next_frame: u64,
+}
+
+impl DataSource {
+    /// Creates a data source; the first burst is scheduled one full
+    /// inter-arrival time into the run.
+    pub fn new(config: DataSourceConfig, clock: FrameClock, mut rng: Xoshiro256StarStar) -> Self {
+        assert!(config.mean_burst_packets >= 1.0, "mean burst size must be at least one packet");
+        let first = Self::draw_gap_frames(&config, &clock, &mut rng);
+        DataSource { config, clock, rng, next_burst_frame: first, next_frame: 0 }
+    }
+
+    /// The source configuration.
+    pub fn config(&self) -> &DataSourceConfig {
+        &self.config
+    }
+
+    fn draw_gap_frames(
+        config: &DataSourceConfig,
+        clock: &FrameClock,
+        rng: &mut Xoshiro256StarStar,
+    ) -> u64 {
+        let secs = Sampler::exponential(rng, config.mean_interarrival.as_secs_f64());
+        ((secs / clock.frame_duration().as_secs_f64()).ceil() as u64).max(1)
+    }
+
+    fn draw_burst_size(&mut self) -> u32 {
+        let size = Sampler::exponential(&mut self.rng, self.config.mean_burst_packets);
+        (size.ceil() as u32).max(1)
+    }
+
+    /// Advances the source across the boundary that starts frame
+    /// `frame_index`; returns the number of packets arriving there (possibly
+    /// from more than one burst if inter-arrival gaps round to the same
+    /// frame).  Frames must be visited in order, exactly once each.
+    pub fn on_frame_start(&mut self, frame_index: u64) -> u32 {
+        assert_eq!(
+            frame_index, self.next_frame,
+            "data source must be driven one frame at a time, in order"
+        );
+        self.next_frame += 1;
+
+        let mut arrived = 0u32;
+        while frame_index >= self.next_burst_frame {
+            arrived = arrived.saturating_add(self.draw_burst_size());
+            let gap = Self::draw_gap_frames(&self.config, &self.clock, &mut self.rng);
+            self.next_burst_frame += gap;
+        }
+        arrived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::{RngStreams, StreamId};
+
+    fn src(seed: u64) -> DataSource {
+        let streams = RngStreams::new(seed);
+        DataSource::new(
+            DataSourceConfig::default(),
+            FrameClock::paper_default(),
+            streams.stream(StreamId::new(StreamId::DOMAIN_DATA, 0)),
+        )
+    }
+
+    #[test]
+    fn offered_load_matches_closed_form() {
+        let cfg = DataSourceConfig::default();
+        let load = cfg.offered_packets_per_frame(&FrameClock::paper_default());
+        assert!((load - 0.25).abs() < 1e-12, "offered load {load} packets/frame");
+    }
+
+    #[test]
+    fn long_run_arrival_rate_matches_offered_load() {
+        let mut s = src(1);
+        let frames = 2_000_000u64; // 5000 s
+        let mut total: u64 = 0;
+        for k in 0..frames {
+            total += s.on_frame_start(k) as u64;
+        }
+        let per_frame = total as f64 / frames as f64;
+        assert!((per_frame - 0.25).abs() < 0.02, "measured {per_frame} packets/frame");
+    }
+
+    #[test]
+    fn mean_burst_size_is_about_one_hundred() {
+        let mut s = src(2);
+        let mut bursts = vec![];
+        for k in 0..2_000_000u64 {
+            let n = s.on_frame_start(k);
+            if n > 0 {
+                bursts.push(n as f64);
+            }
+        }
+        assert!(bursts.len() > 1_000);
+        let mean = bursts.iter().sum::<f64>() / bursts.len() as f64;
+        // Bursts landing on the same frame are merged, so the mean can drift a
+        // little above 100.
+        assert!((95.0..115.0).contains(&mean), "mean burst {mean}");
+    }
+
+    #[test]
+    fn mean_interarrival_is_about_one_second() {
+        let mut s = src(3);
+        let mut arrivals = vec![];
+        for k in 0..2_000_000u64 {
+            if s.on_frame_start(k) > 0 {
+                arrivals.push(k as f64 * 0.0025);
+            }
+        }
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((0.9..1.15).contains(&mean), "mean inter-arrival {mean} s");
+    }
+
+    #[test]
+    fn burst_sizes_are_at_least_one() {
+        let mut s = src(4);
+        for k in 0..200_000u64 {
+            let n = s.on_frame_start(k);
+            assert!(n == 0 || n >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one frame at a time")]
+    fn frames_must_be_visited_in_order() {
+        let mut s = src(5);
+        s.on_frame_start(0);
+        s.on_frame_start(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn invalid_burst_mean_rejected() {
+        let streams = RngStreams::new(6);
+        let _ = DataSource::new(
+            DataSourceConfig { mean_burst_packets: 0.2, ..Default::default() },
+            FrameClock::paper_default(),
+            streams.stream(StreamId::new(StreamId::DOMAIN_DATA, 0)),
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # charisma-traffic — integrated voice / data traffic sources
+//!
+//! Implements the source and buffering models of Section 2 of the paper:
+//!
+//! * [`voice`] — the two-state (talkspurt / silence) voice source with
+//!   exponentially distributed state holding times (means 1.0 s and 1.35 s),
+//!   8 kbps speech packetised every 20 ms, and a 20 ms delivery deadline per
+//!   packet.  State changes and packet arrivals happen at frame boundaries,
+//!   exactly as the paper assumes.
+//! * [`data`] — the file-data source: bursts arrive with exponentially
+//!   distributed inter-arrival times (mean 1 s) and carry an exponentially
+//!   distributed number of packets (mean 100), all arriving at a frame
+//!   boundary.
+//! * [`buffer`] — the per-terminal transmit buffers: a deadline-aware voice
+//!   buffer that drops packets whose deadline expires before transmission,
+//!   and a FIFO data buffer that records arrival times so the data-delay
+//!   metric can be computed per packet.
+//! * [`packet`] — packet and terminal identifiers shared across the stack.
+//!
+//! Contention behaviour (permission probabilities, retries) is *not* part of
+//! this crate: it belongs to the MAC protocols in the `charisma` crate, which
+//! drive these sources frame by frame.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod data;
+pub mod packet;
+pub mod voice;
+
+pub use buffer::{DataBuffer, VoiceBuffer};
+pub use data::{DataSource, DataSourceConfig};
+pub use packet::{PacketKind, TerminalClass, TerminalId};
+pub use voice::{VoiceActivity, VoiceSource, VoiceSourceConfig};

@@ -1,0 +1,83 @@
+//! Identifiers shared by the traffic and MAC layers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mobile terminal within a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TerminalId(pub u32);
+
+impl TerminalId {
+    /// The numeric index of the terminal.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TerminalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The service class of a terminal (the paper's two request types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TerminalClass {
+    /// Isochronous voice terminal: delay-sensitive, deadline-bound packets,
+    /// allowed to reserve slots.
+    Voice,
+    /// File-data terminal: delay-insensitive bursty traffic, no reservation.
+    Data,
+}
+
+impl TerminalClass {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TerminalClass::Voice => "voice",
+            TerminalClass::Data => "data",
+        }
+    }
+}
+
+/// Kind of an information packet (mirrors the owning terminal's class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A 20 ms speech packet with a hard delivery deadline.
+    Voice,
+    /// One packet of a file-data burst.
+    Data,
+}
+
+impl From<TerminalClass> for PacketKind {
+    fn from(c: TerminalClass) -> Self {
+        match c {
+            TerminalClass::Voice => PacketKind::Voice,
+            TerminalClass::Data => PacketKind::Data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_id_display_and_index() {
+        let id = TerminalId(17);
+        assert_eq!(id.to_string(), "T17");
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn class_to_packet_kind() {
+        assert_eq!(PacketKind::from(TerminalClass::Voice), PacketKind::Voice);
+        assert_eq!(PacketKind::from(TerminalClass::Data), PacketKind::Data);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TerminalClass::Voice.label(), "voice");
+        assert_eq!(TerminalClass::Data.label(), "data");
+    }
+}

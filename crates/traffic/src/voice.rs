@@ -1,0 +1,313 @@
+//! The two-state voice source model.
+//!
+//! A voice terminal alternates between *talkspurt* and *silence* states whose
+//! durations are exponentially distributed with means `t_t = 1.0 s` and
+//! `t_s = 1.35 s` (the empirical values of Gruber & Strawczynski cited by the
+//! paper).  State changes occur only at frame boundaries.  During a talkspurt
+//! the 8 kbps speech codec emits one packet every 20 ms; each packet must be
+//! delivered within 20 ms of its generation or it is dropped by the terminal.
+
+use charisma_des::{FrameClock, Sampler, SimDuration, SimTime, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the voice source (paper Table 1 values by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoiceSourceConfig {
+    /// Mean talkspurt duration (`t_t`).
+    pub mean_talkspurt: SimDuration,
+    /// Mean silence duration (`t_s`).
+    pub mean_silence: SimDuration,
+    /// Speech packetisation period (one packet per period during talkspurts).
+    pub packet_period: SimDuration,
+    /// Delivery deadline of each voice packet, measured from generation.
+    pub deadline: SimDuration,
+}
+
+impl Default for VoiceSourceConfig {
+    fn default() -> Self {
+        VoiceSourceConfig {
+            mean_talkspurt: SimDuration::from_millis(1_000),
+            mean_silence: SimDuration::from_millis(1_350),
+            packet_period: SimDuration::from_millis(20),
+            deadline: SimDuration::from_millis(20),
+        }
+    }
+}
+
+impl VoiceSourceConfig {
+    /// The voice activity factor `t_t / (t_t + t_s)` (≈ 0.426 for the paper's
+    /// defaults) — the long-run fraction of time a voice terminal talks.
+    pub fn activity_factor(&self) -> f64 {
+        let tt = self.mean_talkspurt.as_secs_f64();
+        let ts = self.mean_silence.as_secs_f64();
+        tt / (tt + ts)
+    }
+}
+
+/// What a voice source did during one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VoiceActivity {
+    /// A new talkspurt began at this frame boundary (the terminal must send a
+    /// new transmission request).
+    pub talkspurt_started: bool,
+    /// The current talkspurt ended at this frame boundary (any reservation is
+    /// released).
+    pub talkspurt_ended: bool,
+    /// A speech packet was generated at this frame boundary.
+    pub packet_generated: bool,
+}
+
+/// Internal state of the on/off process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Talking until the stored frame index (exclusive).
+    Talkspurt { until_frame: u64, next_packet_frame: u64 },
+    /// Silent until the stored frame index (exclusive).
+    Silence { until_frame: u64 },
+}
+
+/// A single terminal's voice source.
+///
+/// The source is driven frame-synchronously: the MAC loop calls
+/// [`VoiceSource::on_frame_start`] exactly once per frame, in order.
+#[derive(Debug, Clone)]
+pub struct VoiceSource {
+    config: VoiceSourceConfig,
+    clock: FrameClock,
+    state: State,
+    frames_per_packet: u64,
+    rng: Xoshiro256StarStar,
+    /// Next frame index expected by `on_frame_start` (for misuse detection).
+    next_frame: u64,
+}
+
+impl VoiceSource {
+    /// Creates a voice source.  The initial state is drawn from the
+    /// stationary distribution of the on/off process so that a scenario does
+    /// not need a warm-up period just for voice activity to reach steady
+    /// state.
+    pub fn new(config: VoiceSourceConfig, clock: FrameClock, mut rng: Xoshiro256StarStar) -> Self {
+        assert!(!config.packet_period.is_zero(), "packet period must be non-zero");
+        let frames_per_packet = clock.frames_per(config.packet_period);
+        let start_talking = Sampler::bernoulli(&mut rng, config.activity_factor());
+        let mut source = VoiceSource {
+            config,
+            clock,
+            state: State::Silence { until_frame: 0 },
+            frames_per_packet,
+            rng,
+            next_frame: 0,
+        };
+        // Draw the first state explicitly so that `talkspurt_started` is not
+        // reported for terminals that begin mid-talkspurt.
+        if start_talking {
+            let until = source.draw_frames(config.mean_talkspurt).max(1);
+            source.state = State::Talkspurt { until_frame: until, next_packet_frame: 0 };
+        } else {
+            let until = source.draw_frames(config.mean_silence).max(1);
+            source.state = State::Silence { until_frame: until };
+        }
+        source
+    }
+
+    /// The source configuration.
+    pub fn config(&self) -> &VoiceSourceConfig {
+        &self.config
+    }
+
+    /// Whether the source is currently in a talkspurt.
+    pub fn is_talking(&self) -> bool {
+        matches!(self.state, State::Talkspurt { .. })
+    }
+
+    fn draw_frames(&mut self, mean: SimDuration) -> u64 {
+        let secs = Sampler::exponential(&mut self.rng, mean.as_secs_f64());
+        let frames = (secs / self.clock.frame_duration().as_secs_f64()).ceil() as u64;
+        frames.max(1)
+    }
+
+    /// Advances the source across the boundary that starts frame
+    /// `frame_index` and reports what happened.  Frames must be visited in
+    /// order, exactly once each.
+    pub fn on_frame_start(&mut self, frame_index: u64) -> VoiceActivity {
+        assert_eq!(
+            frame_index, self.next_frame,
+            "voice source must be driven one frame at a time, in order"
+        );
+        self.next_frame += 1;
+
+        let mut activity = VoiceActivity::default();
+
+        // State transition at the boundary, if the current state has expired.
+        match self.state {
+            State::Talkspurt { until_frame, .. } if frame_index >= until_frame => {
+                let silence_frames = self.draw_frames(self.config.mean_silence);
+                self.state = State::Silence { until_frame: frame_index + silence_frames };
+                activity.talkspurt_ended = true;
+            }
+            State::Silence { until_frame } if frame_index >= until_frame => {
+                let talk_frames = self.draw_frames(self.config.mean_talkspurt);
+                self.state = State::Talkspurt {
+                    until_frame: frame_index + talk_frames,
+                    next_packet_frame: frame_index,
+                };
+                activity.talkspurt_started = true;
+            }
+            _ => {}
+        }
+
+        // Packet generation while talking.
+        if let State::Talkspurt { until_frame, next_packet_frame } = self.state {
+            if frame_index >= next_packet_frame {
+                activity.packet_generated = true;
+                self.state = State::Talkspurt {
+                    until_frame,
+                    next_packet_frame: frame_index + self.frames_per_packet,
+                };
+            }
+        }
+
+        activity
+    }
+
+    /// The absolute deadline for a packet generated at the start of
+    /// `frame_index`.
+    pub fn deadline_for(&self, frame_index: u64) -> SimTime {
+        self.clock.frame_start(frame_index) + self.config.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::{RngStreams, StreamId};
+
+    fn source(seed: u64) -> VoiceSource {
+        let streams = RngStreams::new(seed);
+        VoiceSource::new(
+            VoiceSourceConfig::default(),
+            FrameClock::paper_default(),
+            streams.stream(StreamId::new(StreamId::DOMAIN_VOICE, 0)),
+        )
+    }
+
+    #[test]
+    fn activity_factor_matches_paper() {
+        let f = VoiceSourceConfig::default().activity_factor();
+        assert!((f - 1.0 / 2.35).abs() < 1e-9, "activity factor {f}");
+    }
+
+    #[test]
+    fn long_run_talk_fraction_matches_activity_factor() {
+        let mut talking_frames = 0u64;
+        let total_frames = 2_000_000; // 5000 simulated seconds
+        let mut s = source(1);
+        for k in 0..total_frames {
+            s.on_frame_start(k);
+            if s.is_talking() {
+                talking_frames += 1;
+            }
+        }
+        let frac = talking_frames as f64 / total_frames as f64;
+        let expected = VoiceSourceConfig::default().activity_factor();
+        assert!((frac - expected).abs() < 0.02, "talk fraction {frac} vs {expected}");
+    }
+
+    #[test]
+    fn packets_are_generated_every_eight_frames_during_talkspurt() {
+        let mut s = source(2);
+        let mut packet_frames = vec![];
+        for k in 0..100_000u64 {
+            let a = s.on_frame_start(k);
+            if a.packet_generated {
+                packet_frames.push(k);
+            }
+        }
+        assert!(!packet_frames.is_empty());
+        // Within a talkspurt consecutive packets are exactly 8 frames apart;
+        // across talkspurts the gap is at least 8 frames.
+        for w in packet_frames.windows(2) {
+            assert!(w[1] - w[0] >= 8, "packets too close: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn mean_talkspurt_length_is_about_one_second() {
+        let mut s = source(3);
+        let mut spurt_lengths = vec![];
+        let mut current: Option<u64> = None;
+        for k in 0..4_000_000u64 {
+            let a = s.on_frame_start(k);
+            if a.talkspurt_started {
+                current = Some(k);
+            }
+            if a.talkspurt_ended {
+                if let Some(start) = current.take() {
+                    spurt_lengths.push((k - start) as f64 * 0.0025);
+                }
+            }
+        }
+        assert!(spurt_lengths.len() > 1000, "too few talkspurts observed");
+        let mean = spurt_lengths.iter().sum::<f64>() / spurt_lengths.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean talkspurt {mean} s");
+    }
+
+    #[test]
+    fn start_and_end_flags_alternate() {
+        let mut s = source(4);
+        let mut expecting_start = !s.is_talking();
+        for k in 0..500_000u64 {
+            let a = s.on_frame_start(k);
+            if a.talkspurt_started {
+                assert!(expecting_start, "unexpected talkspurt start at frame {k}");
+                expecting_start = false;
+            }
+            if a.talkspurt_ended {
+                assert!(!expecting_start, "unexpected talkspurt end at frame {k}");
+                expecting_start = true;
+            }
+            // A frame can both end a silence and start a talkspurt but never
+            // both start and end a talkspurt (minimum spurt length is 1 frame).
+            assert!(!(a.talkspurt_started && a.talkspurt_ended));
+        }
+    }
+
+    #[test]
+    fn packet_generated_only_while_talking() {
+        let mut s = source(5);
+        for k in 0..200_000u64 {
+            let a = s.on_frame_start(k);
+            if a.packet_generated {
+                assert!(s.is_talking());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one frame at a time")]
+    fn skipping_frames_is_rejected() {
+        let mut s = source(6);
+        s.on_frame_start(0);
+        s.on_frame_start(2);
+    }
+
+    #[test]
+    fn deadline_is_twenty_ms_after_generation() {
+        let s = source(7);
+        let d = s.deadline_for(4);
+        assert_eq!(d, SimTime::from_micros(4 * 2_500 + 20_000));
+    }
+
+    #[test]
+    fn initial_state_distribution_is_roughly_stationary() {
+        let talking = (0..2_000)
+            .filter(|&seed| {
+                let s = source(seed);
+                s.is_talking()
+            })
+            .count();
+        let frac = talking as f64 / 2_000.0;
+        let expected = VoiceSourceConfig::default().activity_factor();
+        assert!((frac - expected).abs() < 0.05, "initial talk fraction {frac}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Mobile-speed sensitivity of CHARISMA (paper Section 5.3.3).
+//!
+//! The CSI-dependent allocation is only meaningful if the channel stays
+//! roughly constant between the CSI estimate and the allocated slot.  The
+//! paper reports that CHARISMA's performance degrades by less than ~5 % even
+//! at 80 km/h thanks to the CSI-refresh mechanism.  This example sweeps the
+//! terminal speed at a fixed load and prints the voice loss and data metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example speed_sensitivity
+//! ```
+
+use charisma::radio::SpeedProfile;
+use charisma::{ProtocolKind, Scenario, SimConfig};
+
+fn main() {
+    let speeds_kmh = [10.0, 20.0, 30.0, 50.0, 65.0, 80.0];
+
+    let mut base = SimConfig::default_paper();
+    base.num_voice = 120;
+    base.num_data = 5;
+    base.request_queue = true;
+    base.warmup_frames = 2_000;
+    base.measured_frames = 16_000;
+
+    println!(
+        "=== CHARISMA vs terminal speed (Nv = {}, Nd = {}, request queue on) ===",
+        base.num_voice, base.num_data
+    );
+    println!(
+        "{:>12} {:>14} {:>18} {:>14}",
+        "speed (km/h)", "voice loss", "data thpt (p/f)", "data delay (s)"
+    );
+
+    let mut baseline_loss = None;
+    for &speed in &speeds_kmh {
+        let mut config = base.clone();
+        config.speed = SpeedProfile::Fixed(speed);
+        let report = Scenario::new(config).run(ProtocolKind::Charisma);
+        if baseline_loss.is_none() {
+            baseline_loss = Some(report.voice_loss_rate());
+        }
+        println!(
+            "{:>12.0} {:>13.3}% {:>18.3} {:>14.3}",
+            speed,
+            report.voice_loss_rate() * 100.0,
+            report.data_throughput_per_frame(),
+            report.data_delay_secs(),
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper Section 5.3.3): performance is essentially flat from 10");
+    println!("to 50 km/h and degrades only slightly (a few percent) at 80 km/h, because the");
+    println!("CSI-refresh mechanism keeps the estimates usable within a frame.");
+}

@@ -1,0 +1,12 @@
+//! Workspace-level facade for the CHARISMA reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository-root
+//! `examples/` and `tests/` directories can exercise the full public API with
+//! a single dependency.  The actual implementation lives in `crates/*`.
+
+pub use charisma as core;
+pub use charisma_des as des;
+pub use charisma_metrics as metrics;
+pub use charisma_phy as phy;
+pub use charisma_radio as radio;
+pub use charisma_traffic as traffic;

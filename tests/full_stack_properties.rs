@@ -1,0 +1,122 @@
+//! Property-based integration tests: for arbitrary (small) scenario
+//! configurations, the accounting invariants of the full stack must hold for
+//! every protocol.
+
+use charisma::{ProtocolKind, Scenario, SimConfig};
+use proptest::prelude::*;
+
+fn arbitrary_protocol() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Charisma),
+        Just(ProtocolKind::DTdmaFr),
+        Just(ProtocolKind::DTdmaVr),
+        Just(ProtocolKind::Rama),
+        Just(ProtocolKind::Rmav),
+        Just(ProtocolKind::Drma),
+    ]
+}
+
+fn small_config(num_voice: u32, num_data: u32, seed: u64, queue: bool) -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = num_voice;
+    cfg.num_data = num_data;
+    cfg.seed = seed;
+    cfg.request_queue = queue;
+    cfg.warmup_frames = 200;
+    cfg.measured_frames = 1_600; // 4 s
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Voice accounting: the loss rate is a probability, delivered packets
+    /// never exceed generated packets (plus the small warm-up carry-over),
+    /// and lost packets are exactly drops + errors.
+    #[test]
+    fn voice_accounting_invariants(
+        protocol in arbitrary_protocol(),
+        num_voice in 1u32..40,
+        num_data in 0u32..4,
+        seed in any::<u64>(),
+        queue in any::<bool>(),
+    ) {
+        let cfg = small_config(num_voice, num_data, seed, queue);
+        let report = Scenario::new(cfg).run(protocol);
+        let v = &report.metrics.voice;
+
+        prop_assert!((0.0..=1.0).contains(&report.voice_loss_rate()));
+        prop_assert_eq!(v.lost(), v.dropped_deadline + v.transmission_errors);
+        // Packets generated during warm-up may be delivered (or dropped) during
+        // the measured window; allow one packet of slack per terminal.
+        let slack = num_voice as u64;
+        prop_assert!(
+            v.delivered + v.lost() <= v.generated + slack,
+            "delivered {} + lost {} exceeds generated {} (+slack {})",
+            v.delivered, v.lost(), v.generated, slack
+        );
+    }
+
+    /// Data accounting: delivered packets never exceed arrivals (plus warm-up
+    /// carry-over), delays are non-negative and finite, and throughput is
+    /// bounded by the frame capacity.
+    #[test]
+    fn data_accounting_invariants(
+        protocol in arbitrary_protocol(),
+        num_voice in 0u32..10,
+        num_data in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_config(num_voice, num_data, seed, true);
+        let report = Scenario::new(cfg.clone()).run(protocol);
+        let d = &report.metrics.data;
+
+        // Carry-over: bursts that arrived during warm-up (mean 100 packets per
+        // burst, ~1 burst per second per terminal over the 0.5 s warm-up).
+        let slack = 400 * num_data as u64;
+        prop_assert!(
+            d.delivered <= d.arrived + slack,
+            "delivered {} exceeds arrived {} (+slack {})", d.delivered, d.arrived, slack
+        );
+        prop_assert!(report.data_delay_secs() >= 0.0);
+        prop_assert!(report.data_delay_secs().is_finite());
+        // No protocol can deliver more packets per frame than the densest mode
+        // allows over its information subframe.
+        let max_slots = cfg.frame.info_slots.max(cfg.frame.drma_info_slots).max(cfg.frame.rmav_info_slots);
+        let hard_cap = (max_slots as f64) * 5.0;
+        prop_assert!(
+            report.data_throughput_per_frame() <= hard_cap,
+            "throughput {} exceeds the physical bound {}", report.data_throughput_per_frame(), hard_cap
+        );
+    }
+
+    /// Slot accounting: assigned airtime never exceeds what the frame
+    /// structure offered, and utilisation / waste are probabilities.
+    #[test]
+    fn slot_accounting_invariants(
+        protocol in arbitrary_protocol(),
+        num_voice in 1u32..30,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_config(num_voice, 2, seed, false);
+        let report = Scenario::new(cfg).run(protocol);
+        let s = &report.metrics.slots;
+        prop_assert!(s.assigned <= s.offered + 1e-6, "assigned {} > offered {}", s.assigned, s.offered);
+        prop_assert!(s.wasted <= s.assigned + 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilisation()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.waste_rate()));
+    }
+
+    /// Determinism: the same configuration and protocol always produce the
+    /// same report, bit for bit.
+    #[test]
+    fn runs_are_deterministic(
+        protocol in arbitrary_protocol(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_config(10, 1, seed, true);
+        let a = Scenario::new(cfg.clone()).run(protocol);
+        let b = Scenario::new(cfg).run(protocol);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests of the platform layers working together: channel → CSI →
+//! adaptive PHY → scheduling, plus contention statistics and slot accounting
+//! across protocols.
+
+use charisma::phy::{AdaptivePhy, Phy};
+use charisma::radio::{ChannelConfig, CombinedChannel, CsiEstimator, CsiEstimatorConfig, Mobility};
+use charisma::des::{RngStreams, SimDuration, SimTime, StreamId};
+use charisma::{ProtocolKind, Scenario, SimConfig};
+
+#[test]
+fn csi_estimates_track_the_true_channel_closely_within_their_validity_window() {
+    // The CHARISMA design hinges on CSI being roughly constant for two frames
+    // (5 ms) at 50 km/h.  Verify that the mode selected from a 2-frame-old
+    // estimate agrees with the mode selected from the true channel in the
+    // overwhelming majority of frames.
+    let streams = RngStreams::new(404);
+    let mut channel = CombinedChannel::new(
+        ChannelConfig::default(),
+        Mobility::new(50.0),
+        streams.stream(StreamId::new(StreamId::DOMAIN_CHANNEL, 0)),
+    );
+    let mut estimator = CsiEstimator::new(
+        CsiEstimatorConfig::default(),
+        streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, 0)),
+    );
+    let phy = AdaptivePhy::default();
+
+    let frame = SimDuration::from_micros(2_500);
+    let mut t = SimTime::ZERO;
+    let mut agreements = 0u32;
+    let mut big_misses = 0u32;
+    let total = 20_000u32;
+    for _ in 0..total {
+        let est = estimator.estimate(channel.snr_db_at(t), t);
+        let later = t + frame * 2;
+        let true_mode = phy.mode_for(channel.snr_db_at(later));
+        let announced_mode = phy.mode_for(est.snr_db);
+        if true_mode == announced_mode {
+            agreements += 1;
+        }
+        if (true_mode.index() as i32 - announced_mode.index() as i32).abs() >= 2 {
+            big_misses += 1;
+        }
+        t = later;
+    }
+    let agreement = agreements as f64 / total as f64;
+    let miss = big_misses as f64 / total as f64;
+    assert!(agreement > 0.35, "2-frame-old CSI should often select the same mode, got {agreement}");
+    assert!(miss < 0.2, "2-frame-old CSI should rarely be off by 2+ modes, got {miss}");
+}
+
+#[test]
+fn faster_terminals_make_stale_csi_less_reliable() {
+    // The §5.3.3 mechanism: the same staleness hurts more at 80 km/h than at
+    // 10 km/h.  Measured as mode disagreement over a 2-frame lag.
+    let disagreement = |speed: f64| {
+        let streams = RngStreams::new(505);
+        let mut channel = CombinedChannel::new(
+            ChannelConfig::default(),
+            Mobility::new(speed),
+            streams.stream(StreamId::new(StreamId::DOMAIN_CHANNEL, 9)),
+        );
+        let phy = AdaptivePhy::default();
+        let frame = SimDuration::from_micros(2_500);
+        let mut t = SimTime::ZERO;
+        let mut disagreements = 0u32;
+        let total = 20_000u32;
+        for _ in 0..total {
+            let before = phy.mode_for(channel.snr_db_at(t));
+            let later = t + frame * 2;
+            let after = phy.mode_for(channel.snr_db_at(later));
+            if before != after {
+                disagreements += 1;
+            }
+            t = later;
+        }
+        disagreements as f64 / total as f64
+    };
+    let slow = disagreement(10.0);
+    let fast = disagreement(80.0);
+    assert!(fast > slow, "mode churn at 80 km/h ({fast}) must exceed 10 km/h ({slow})");
+}
+
+#[test]
+fn contention_statistics_are_internally_consistent_for_every_protocol() {
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = 30;
+    cfg.num_data = 6;
+    cfg.warmup_frames = 400;
+    cfg.measured_frames = 3_000;
+    let scenario = Scenario::new(cfg);
+    for p in ProtocolKind::ALL {
+        let report = scenario.run(p);
+        let c = &report.metrics.contention;
+        assert!(
+            c.successes + c.collisions <= c.attempts,
+            "{p}: successes {} + collisions {} exceed attempts {}",
+            c.successes,
+            c.collisions,
+            c.attempts
+        );
+        assert!((0.0..=1.0).contains(&c.collision_rate()), "{p}");
+        // Every protocol except RMAV should manage to acknowledge a healthy
+        // number of requests at this moderate load.
+        if p != ProtocolKind::Rmav {
+            assert!(c.successes > 50, "{p}: only {} successful requests", c.successes);
+        }
+    }
+}
+
+#[test]
+fn slot_utilisation_rises_with_load_for_the_fixed_rate_protocol() {
+    let run = |num_voice: u32| {
+        let mut cfg = SimConfig::quick_test();
+        cfg.num_voice = num_voice;
+        cfg.num_data = 0;
+        cfg.warmup_frames = 400;
+        cfg.measured_frames = 3_000;
+        Scenario::new(cfg).run(ProtocolKind::DTdmaFr).metrics.slots.utilisation()
+    };
+    let light = run(10);
+    let heavy = run(70);
+    assert!(
+        heavy > light + 0.2,
+        "D-TDMA/FR slot utilisation should rise sharply with load (light {light}, heavy {heavy})"
+    );
+    assert!(heavy > 0.8, "near capacity the information subframe should be nearly full ({heavy})");
+}
+
+#[test]
+fn charisma_wastes_less_airtime_than_the_blind_adaptive_baseline() {
+    // Section 5.3.1: CSI-blind allocation wastes slots on terminals in deep
+    // fades; CHARISMA's deferral avoids most of that waste.
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = 60;
+    cfg.num_data = 5;
+    cfg.warmup_frames = 400;
+    cfg.measured_frames = 4_000;
+    let scenario = Scenario::new(cfg);
+    let charisma = scenario.run(ProtocolKind::Charisma).metrics.slots.waste_rate();
+    let vr = scenario.run(ProtocolKind::DTdmaVr).metrics.slots.waste_rate();
+    assert!(
+        charisma <= vr + 1e-3,
+        "CHARISMA waste rate {charisma} should not exceed the CSI-blind baseline's {vr}"
+    );
+}
+
+#[test]
+fn voice_only_and_mixed_scenarios_preserve_voice_priority() {
+    // Voice loss in a mixed scenario should stay close to the voice-only loss
+    // for CHARISMA, because data never outranks voice in the priority metric.
+    let mut voice_only = SimConfig::quick_test();
+    voice_only.num_voice = 40;
+    voice_only.num_data = 0;
+    voice_only.warmup_frames = 400;
+    voice_only.measured_frames = 4_000;
+    let mut mixed = voice_only.clone();
+    mixed.num_data = 10;
+
+    let lone = Scenario::new(voice_only).run(ProtocolKind::Charisma).voice_loss_rate();
+    let with_data = Scenario::new(mixed).run(ProtocolKind::Charisma).voice_loss_rate();
+    assert!(
+        with_data < lone + 0.01,
+        "adding data users must not visibly degrade CHARISMA voice QoS (alone {lone}, mixed {with_data})"
+    );
+}

@@ -1,0 +1,171 @@
+//! Integration tests spanning all crates: the six protocols on the common
+//! simulation platform, checked against the qualitative claims of the
+//! paper's evaluation section.
+
+use charisma::{ProtocolKind, Scenario, SimConfig};
+
+/// A moderately loaded voice-only configuration that is short enough for a
+/// debug-mode test run but long enough for stable loss estimates.
+fn voice_config(num_voice: u32) -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = num_voice;
+    cfg.num_data = 0;
+    cfg.warmup_frames = 800;
+    cfg.measured_frames = 6_000; // 15 s
+    cfg
+}
+
+fn mixed_config(num_voice: u32, num_data: u32) -> SimConfig {
+    let mut cfg = voice_config(num_voice);
+    cfg.num_data = num_data;
+    cfg
+}
+
+#[test]
+fn charisma_has_the_lowest_voice_loss_at_moderate_load() {
+    let cfg = voice_config(60);
+    let scenario = Scenario::new(cfg);
+    let charisma = scenario.run(ProtocolKind::Charisma).voice_loss_rate();
+    for p in ProtocolKind::ALL {
+        if p == ProtocolKind::Charisma {
+            continue;
+        }
+        let other = scenario.run(p).voice_loss_rate();
+        assert!(
+            charisma <= other + 1e-3,
+            "CHARISMA ({charisma:.4}) must not lose more voice packets than {p} ({other:.4})"
+        );
+    }
+}
+
+#[test]
+fn charisma_near_zero_loss_at_light_load_while_baselines_have_an_error_floor() {
+    let cfg = voice_config(20);
+    let scenario = Scenario::new(cfg);
+    let charisma = scenario.run(ProtocolKind::Charisma).voice_loss_rate();
+    let fr = scenario.run(ProtocolKind::DTdmaFr).voice_loss_rate();
+    assert!(charisma < 0.004, "CHARISMA light-load loss should be almost zero, got {charisma}");
+    assert!(fr > charisma, "the fixed-PHY baseline must show a visible error floor (fr={fr})");
+    assert!(fr < 0.01, "the baseline floor must still be below the 1% QoS threshold (fr={fr})");
+}
+
+#[test]
+fn rmav_is_unstable_even_at_low_voice_load() {
+    // Paper: "the RMAV protocol quickly becomes unstable even with a moderate
+    // number of voice users (e.g., 10)."
+    let cfg = voice_config(20);
+    let report = Scenario::new(cfg).run(ProtocolKind::Rmav);
+    assert!(
+        report.voice_loss_rate() > 0.10,
+        "RMAV with 20 voice users should already be far beyond its single-slot contention capacity, got {}",
+        report.voice_loss_rate()
+    );
+}
+
+#[test]
+fn adaptive_phy_extends_capacity_beyond_the_fixed_rate_limit() {
+    // At 100 voice users D-TDMA/FR is far beyond its hard capacity while the
+    // CSI-aware CHARISMA still operates below the 1% threshold.
+    let cfg = voice_config(100);
+    let scenario = Scenario::new(cfg);
+    let charisma = scenario.run(ProtocolKind::Charisma).voice_loss_rate();
+    let fr = scenario.run(ProtocolKind::DTdmaFr).voice_loss_rate();
+    assert!(charisma < 0.01, "CHARISMA at 100 voice users should stay below 1% loss, got {charisma}");
+    assert!(fr > 0.05, "D-TDMA/FR at 100 voice users should be far beyond capacity, got {fr}");
+}
+
+#[test]
+fn rama_degrades_more_gracefully_than_dtdma_fr_at_overload() {
+    let cfg = voice_config(140);
+    let scenario = Scenario::new(cfg);
+    let rama = scenario.run(ProtocolKind::Rama).voice_loss_rate();
+    let fr = scenario.run(ProtocolKind::DTdmaFr).voice_loss_rate();
+    assert!(
+        rama <= fr + 0.02,
+        "RAMA's collision-free auction should degrade at least as gracefully as D-TDMA/FR (rama={rama}, fr={fr})"
+    );
+}
+
+#[test]
+fn charisma_delivers_more_data_with_less_delay_than_fixed_baselines() {
+    let cfg = mixed_config(30, 8);
+    let scenario = Scenario::new(cfg);
+    let charisma = scenario.run(ProtocolKind::Charisma);
+    let fr = scenario.run(ProtocolKind::DTdmaFr);
+    assert!(
+        charisma.data_throughput_per_frame() >= fr.data_throughput_per_frame(),
+        "CHARISMA data throughput {} must be at least D-TDMA/FR's {}",
+        charisma.data_throughput_per_frame(),
+        fr.data_throughput_per_frame()
+    );
+    assert!(
+        charisma.data_delay_secs() <= fr.data_delay_secs() + 0.05,
+        "CHARISMA data delay {} must not exceed D-TDMA/FR's {}",
+        charisma.data_delay_secs(),
+        fr.data_delay_secs()
+    );
+}
+
+#[test]
+fn request_queue_never_hurts_charisma_and_helps_it_most() {
+    let mut without = mixed_config(60, 6);
+    without.request_queue = false;
+    let mut with = without.clone();
+    with.request_queue = true;
+
+    let loss_without = Scenario::new(without).run(ProtocolKind::Charisma).voice_loss_rate();
+    let loss_with = Scenario::new(with).run(ProtocolKind::Charisma).voice_loss_rate();
+    assert!(
+        loss_with <= loss_without + 2e-3,
+        "adding the request queue must not hurt CHARISMA (with={loss_with}, without={loss_without})"
+    );
+}
+
+#[test]
+fn adding_data_users_reduces_voice_capacity() {
+    // Paper Section 5.1: each additional block of data users costs roughly
+    // 20% of voice capacity.  We check the direction of the effect.
+    let without_data = voice_config(80);
+    let with_data = mixed_config(80, 10);
+    let scenario_a = Scenario::new(without_data);
+    let scenario_b = Scenario::new(with_data);
+    for p in [ProtocolKind::DTdmaFr, ProtocolKind::Rama] {
+        let a = scenario_a.run(p).voice_loss_rate();
+        let b = scenario_b.run(p).voice_loss_rate();
+        assert!(
+            b >= a - 1e-3,
+            "{p}: adding data users must not reduce voice loss (without={a}, with={b})"
+        );
+    }
+}
+
+#[test]
+fn common_platform_presents_identical_traffic_to_every_protocol() {
+    // The "common simulation platform" property: for a fixed seed every
+    // protocol sees the same generated voice packets and data arrivals.
+    let cfg = mixed_config(25, 5);
+    let scenario = Scenario::new(cfg);
+    let reference = scenario.run(ProtocolKind::DTdmaFr);
+    for p in ProtocolKind::ALL {
+        let r = scenario.run(p);
+        assert_eq!(
+            r.metrics.voice.generated, reference.metrics.voice.generated,
+            "{p} saw a different number of generated voice packets"
+        );
+        assert_eq!(
+            r.metrics.data.arrived, reference.metrics.data.arrived,
+            "{p} saw a different number of data arrivals"
+        );
+    }
+}
+
+#[test]
+fn all_protocols_are_deterministic_across_repeated_runs() {
+    let cfg = mixed_config(15, 3);
+    let scenario = Scenario::new(cfg);
+    for p in ProtocolKind::ALL {
+        let a = scenario.run(p);
+        let b = scenario.run(p);
+        assert_eq!(a, b, "{p} is not reproducible for a fixed seed");
+    }
+}
