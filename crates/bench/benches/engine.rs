@@ -61,7 +61,7 @@ fn bench_channel(c: &mut Criterion) {
             let mut t = SimTime::ZERO;
             let mut acc = 0.0;
             for _ in 0..400 {
-                t = t + SimDuration::from_micros(2_500);
+                t += SimDuration::from_micros(2_500);
                 acc += ch.snr_db_at(t);
             }
             black_box(acc)
@@ -84,5 +84,11 @@ fn bench_phy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(engine, bench_event_queue, bench_rng_streams, bench_channel, bench_phy);
+criterion_group!(
+    engine,
+    bench_event_queue,
+    bench_rng_streams,
+    bench_channel,
+    bench_phy
+);
 criterion_main!(engine);

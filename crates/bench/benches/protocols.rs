@@ -18,10 +18,14 @@ fn scenario_config(num_voice: u32, num_data: u32) -> SimConfig {
 fn bench_protocols_one_second(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_one_second_60v_10d");
     for protocol in ProtocolKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(protocol.label()), &protocol, |b, &p| {
-            let scenario = Scenario::new(scenario_config(60, 10));
-            b.iter(|| black_box(scenario.run(p)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                let scenario = Scenario::new(scenario_config(60, 10));
+                b.iter(|| black_box(scenario.run(p)));
+            },
+        );
     }
     group.finish();
 }
@@ -29,10 +33,14 @@ fn bench_protocols_one_second(c: &mut Criterion) {
 fn bench_charisma_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("charisma_scaling_voice_users");
     for &num_voice in &[20u32, 80, 160] {
-        group.bench_with_input(BenchmarkId::from_parameter(num_voice), &num_voice, |b, &nv| {
-            let scenario = Scenario::new(scenario_config(nv, 0));
-            b.iter(|| black_box(scenario.run(ProtocolKind::Charisma)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_voice),
+            &num_voice,
+            |b, &nv| {
+                let scenario = Scenario::new(scenario_config(nv, 0));
+                b.iter(|| black_box(scenario.run(ProtocolKind::Charisma)));
+            },
+        );
     }
     group.finish();
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut csv_rows = Vec::new();
 
     println!("Ablation — CSI-aware scheduling vs CSI-blind scheduling (Nd = {num_data}, queue on)");
-    println!("{:<26} {:>16} {:>18}", "variant", "capacity @ 1%", "loss @ 120 users");
+    println!(
+        "{:<26} {:>16} {:>18}",
+        "variant", "capacity @ 1%", "loss @ 120 users"
+    );
 
     let variants: Vec<(&str, ProtocolKind, bool)> = vec![
         ("CHARISMA (CSI-aware)", ProtocolKind::Charisma, true),
@@ -31,8 +34,10 @@ fn main() {
         cfg.charisma.csi_aware = csi_aware;
         let points = voice_load_sweep(&cfg, protocol, &voice_counts, num_data, true);
         let results = run_sweep(points, 0);
-        let curve: Vec<(f64, f64)> =
-            results.iter().map(|r| (r.load, r.report.voice_loss_rate())).collect();
+        let curve: Vec<(f64, f64)> = results
+            .iter()
+            .map(|r| (r.load, r.report.voice_loss_rate()))
+            .collect();
         let capacity = capacity_at_threshold(&curve, 0.01);
         let at_120 = curve
             .iter()
@@ -50,7 +55,11 @@ fn main() {
         }
     }
 
-    write_csv("ablation_csi.csv", "variant,num_voice,voice_loss_rate", &csv_rows);
+    write_csv(
+        "ablation_csi.csv",
+        "variant,num_voice,voice_loss_rate",
+        &csv_rows,
+    );
     println!();
     println!("Expected: disabling the CSI term costs a sizeable share of CHARISMA's capacity");
     println!("advantage, showing that the cross-layer scheduling (not just the adaptive PHY)");

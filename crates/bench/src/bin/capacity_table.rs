@@ -32,13 +32,21 @@ fn main() {
                 }
                 let points = voice_load_sweep(&base, protocol, &voice_counts, num_data, queue);
                 let results = run_sweep(points, 0);
-                let curve: Vec<(f64, f64)> =
-                    results.iter().map(|r| (r.load, r.report.voice_loss_rate())).collect();
+                let curve: Vec<(f64, f64)> = results
+                    .iter()
+                    .map(|r| (r.load, r.report.voice_loss_rate()))
+                    .collect();
                 let cell = match capacity_at_threshold(&curve, 0.01) {
                     Some(c) => format!("{c:.0}"),
                     None => format!("<{}", voice_counts[0]),
                 };
-                csv_rows.push(format!("{},{},{},{}", protocol.label(), num_data, queue, cell));
+                csv_rows.push(format!(
+                    "{},{},{},{}",
+                    protocol.label(),
+                    num_data,
+                    queue,
+                    cell
+                ));
                 cells.push(cell);
             }
         }

@@ -22,7 +22,11 @@ fn main() {
         let panel = (b'a' + panel_idx as u8) as char;
         println!();
         println!("--- Fig. 11({panel}) Nd = {num_data}, {label} ---");
-        println!("{}{:>12}", format_header("protocol", &voice_counts), "cap@1%");
+        println!(
+            "{}{:>12}",
+            format_header("protocol", &voice_counts),
+            "cap@1%"
+        );
 
         for protocol in all_protocols() {
             if queue && !protocol.supports_request_queue() {
@@ -31,8 +35,10 @@ fn main() {
             let points = voice_load_sweep(&base, protocol, &voice_counts, num_data, queue);
             let results = run_sweep(points, 0);
             let losses: Vec<f64> = results.iter().map(|r| r.report.voice_loss_rate()).collect();
-            let curve: Vec<(f64, f64)> =
-                results.iter().map(|r| (r.load, r.report.voice_loss_rate())).collect();
+            let curve: Vec<(f64, f64)> = results
+                .iter()
+                .map(|r| (r.load, r.report.voice_loss_rate()))
+                .collect();
             let capacity = capacity_at_threshold(&curve, 0.01);
 
             let row = format_row(protocol.label(), &losses, |v| format!("{:.2}%", v * 100.0));

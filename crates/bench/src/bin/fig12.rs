@@ -27,9 +27,14 @@ fn main() {
             }
             let points = data_load_sweep(&base, protocol, &data_counts, num_voice, queue);
             let results = run_sweep(points, 0);
-            let throughputs: Vec<f64> =
-                results.iter().map(|r| r.report.data_throughput_per_frame()).collect();
-            println!("{}", format_row(protocol.label(), &throughputs, |v| format!("{v:.3}")));
+            let throughputs: Vec<f64> = results
+                .iter()
+                .map(|r| r.report.data_throughput_per_frame())
+                .collect();
+            println!(
+                "{}",
+                format_row(protocol.label(), &throughputs, |v| format!("{v:.3}"))
+            );
             for r in &results {
                 csv_rows.push(format!(
                     "12{panel},{},{},{},{},{:.6}",

@@ -28,7 +28,10 @@ fn main() {
             let points = data_load_sweep(&base, protocol, &data_counts, num_voice, queue);
             let results = run_sweep(points, 0);
             let delays: Vec<f64> = results.iter().map(|r| r.report.data_delay_secs()).collect();
-            println!("{}", format_row(protocol.label(), &delays, |v| format!("{v:.3}")));
+            println!(
+                "{}",
+                format_row(protocol.label(), &delays, |v| format!("{v:.3}"))
+            );
             for r in &results {
                 csv_rows.push(format!(
                     "13{panel},{},{},{},{},{:.6}",

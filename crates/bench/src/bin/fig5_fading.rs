@@ -4,8 +4,8 @@
 //! Generates a 2-second trace for one terminal at 50 km/h, prints summary
 //! statistics and writes the full trace to `results/fig5_fading.csv`.
 
-use charisma::radio::{ChannelConfig, CombinedChannel, Mobility};
 use charisma::des::{RngStreams, SimDuration, StreamId};
+use charisma::radio::{ChannelConfig, CombinedChannel, Mobility};
 
 fn main() {
     let streams = RngStreams::new(0xF165_BEEF);
@@ -26,7 +26,13 @@ fn main() {
     let mut max_snr = f64::NEG_INFINITY;
     let mut deep_fade_samples = 0usize;
     for &(t, short_db, long_db, snr_db) in &rows {
-        csv.push(format!("{:.6},{:.3},{:.3},{:.3}", t.as_secs_f64(), short_db, long_db, snr_db));
+        csv.push(format!(
+            "{:.6},{:.3},{:.3},{:.3}",
+            t.as_secs_f64(),
+            short_db,
+            long_db,
+            snr_db
+        ));
         min_snr = min_snr.min(snr_db);
         max_snr = max_snr.max(snr_db);
         if short_db < -10.0 {
@@ -36,7 +42,10 @@ fn main() {
 
     println!("Fig. 5 — sample of combined channel fading (50 km/h, 2 s, 0.5 ms sampling)");
     println!("samples:                  {}", rows.len());
-    println!("SNR range:                {:.1} dB … {:.1} dB", min_snr, max_snr);
+    println!(
+        "SNR range:                {:.1} dB … {:.1} dB",
+        min_snr, max_snr
+    );
     println!(
         "time in >10 dB fast fade: {:.1}%  (Rayleigh theory ≈ 9.5%)",
         100.0 * deep_fade_samples as f64 / rows.len() as f64

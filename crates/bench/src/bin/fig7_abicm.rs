@@ -25,8 +25,14 @@ fn main() {
         let tput = adaptive.packets_per_slot(snr);
         let per = adaptive.packet_error_probability(snr);
         let fper = fixed.packet_error_probability(snr);
-        println!("{snr:>8.1} {:>8} {tput:>22.1} {per:>22.2e} {fper:>18.2e}", mode.index());
-        rows.push(format!("{snr:.1},{},{tput:.2},{per:.6},{fper:.6}", mode.index()));
+        println!(
+            "{snr:>8.1} {:>8} {tput:>22.1} {per:>22.2e} {fper:>18.2e}",
+            mode.index()
+        );
+        rows.push(format!(
+            "{snr:.1},{},{tput:.2},{per:.6},{fper:.6}",
+            mode.index()
+        ));
         snr += 1.0;
     }
 

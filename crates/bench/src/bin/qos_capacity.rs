@@ -18,7 +18,10 @@ fn main() {
     let mut capacities: Vec<(ProtocolKind, Option<f64>)> = Vec::new();
 
     println!("Data QoS capacity at (delay <= 1 s, per-user throughput >= 0.25 pkt/frame), Nv = {num_voice}");
-    println!("{:<12} {:>26} {:>26}", "protocol", "capacity (no queue)", "capacity (with queue)");
+    println!(
+        "{:<12} {:>26} {:>26}",
+        "protocol", "capacity (no queue)", "capacity (with queue)"
+    );
 
     for protocol in all_protocols() {
         let mut cells = Vec::new();
@@ -35,8 +38,11 @@ fn main() {
                 .iter()
                 .map(|r| {
                     let ok_throughput = r.report.data_throughput_per_user() >= 0.20;
-                    let effective_delay =
-                        if ok_throughput { r.report.data_delay_secs() } else { f64::MAX };
+                    let effective_delay = if ok_throughput {
+                        r.report.data_delay_secs()
+                    } else {
+                        f64::MAX
+                    };
                     (r.load, effective_delay)
                 })
                 .collect();
@@ -55,14 +61,31 @@ fn main() {
     }
 
     // The headline ratios of §5.2.
-    let lookup = |k: ProtocolKind| capacities.iter().find(|(p, _)| *p == k).and_then(|(_, c)| *c);
-    if let (Some(ch), Some(vr), Some(rama)) =
-        (lookup(ProtocolKind::Charisma), lookup(ProtocolKind::DTdmaVr), lookup(ProtocolKind::Rama))
-    {
+    let lookup = |k: ProtocolKind| {
+        capacities
+            .iter()
+            .find(|(p, _)| *p == k)
+            .and_then(|(_, c)| *c)
+    };
+    if let (Some(ch), Some(vr), Some(rama)) = (
+        lookup(ProtocolKind::Charisma),
+        lookup(ProtocolKind::DTdmaVr),
+        lookup(ProtocolKind::Rama),
+    ) {
         println!();
-        println!("CHARISMA / D-TDMA/VR capacity ratio: {:.2} (paper ≈ 1.5)", ch / vr);
-        println!("CHARISMA / RAMA capacity ratio:      {:.2} (paper ≈ 3)", ch / rama);
+        println!(
+            "CHARISMA / D-TDMA/VR capacity ratio: {:.2} (paper ≈ 1.5)",
+            ch / vr
+        );
+        println!(
+            "CHARISMA / RAMA capacity ratio:      {:.2} (paper ≈ 3)",
+            ch / rama
+        );
     }
 
-    write_csv("qos_capacity.csv", "protocol,request_queue,qos_capacity_data_users", &csv_rows);
+    write_csv(
+        "qos_capacity.csv",
+        "protocol,request_queue,qos_capacity_data_users",
+        &csv_rows,
+    );
 }

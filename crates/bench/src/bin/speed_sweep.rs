@@ -34,7 +34,11 @@ fn main() {
         let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
         let loss = report.voice_loss_rate();
         let reference_loss = *reference.get_or_insert(loss);
-        let relative = if reference_loss > 0.0 { loss / reference_loss } else { 1.0 };
+        let relative = if reference_loss > 0.0 {
+            loss / reference_loss
+        } else {
+            1.0
+        };
         println!(
             "{:>12.0} {:>13.3}% {:>18.3} {:>14.3} {:>21.2}x",
             speed,
@@ -51,7 +55,11 @@ fn main() {
         ));
     }
 
-    write_csv("speed_sweep.csv", "speed_kmh,voice_loss_rate,data_throughput,data_delay_s", &csv_rows);
+    write_csv(
+        "speed_sweep.csv",
+        "speed_kmh,voice_loss_rate,data_throughput,data_delay_s",
+        &csv_rows,
+    );
     println!();
     println!("Expected: essentially flat up to 50 km/h, only mild degradation at 80 km/h.");
 }

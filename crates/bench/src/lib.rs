@@ -39,7 +39,11 @@ pub enum BenchProfile {
 impl BenchProfile {
     /// Reads the profile from `CHARISMA_BENCH_PROFILE`.
     pub fn from_env() -> Self {
-        match std::env::var("CHARISMA_BENCH_PROFILE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("CHARISMA_BENCH_PROFILE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "quick" => BenchProfile::Quick,
             "full" => BenchProfile::Full,
             _ => BenchProfile::Standard,
@@ -164,7 +168,11 @@ mod tests {
 
     #[test]
     fn base_config_is_valid_for_every_profile() {
-        for p in [BenchProfile::Quick, BenchProfile::Standard, BenchProfile::Full] {
+        for p in [
+            BenchProfile::Quick,
+            BenchProfile::Standard,
+            BenchProfile::Full,
+        ] {
             base_config(p).validate();
         }
     }

@@ -84,17 +84,38 @@ impl FrameStructure {
 
     /// Validates internal consistency; called by [`SimConfig::validate`].
     pub fn validate(&self) {
-        assert!(self.info_slots > 0, "at least one information slot is required");
-        assert!(self.subslots_per_slot > 0, "at least one sub-slot per slot is required");
-        assert!(self.request_slots > 0, "at least one request slot is required");
+        assert!(
+            self.info_slots > 0,
+            "at least one information slot is required"
+        );
+        assert!(
+            self.subslots_per_slot > 0,
+            "at least one sub-slot per slot is required"
+        );
+        assert!(
+            self.request_slots > 0,
+            "at least one request slot is required"
+        );
         assert!(
             self.request_slots >= self.info_slots,
             "the paper requires N_r (request slots) >= N_i (information slots)"
         );
-        assert!(self.rama_auction_slots > 0, "RAMA needs at least one auction slot");
-        assert!(self.drma_info_slots > 0 && self.drma_minislots > 0, "DRMA slot counts must be positive");
-        assert!(self.rmav_info_slots > 0 && self.rmav_max_data_slots > 0, "RMAV slot counts must be positive");
-        assert!(!self.frame_duration.is_zero(), "frame duration must be non-zero");
+        assert!(
+            self.rama_auction_slots > 0,
+            "RAMA needs at least one auction slot"
+        );
+        assert!(
+            self.drma_info_slots > 0 && self.drma_minislots > 0,
+            "DRMA slot counts must be positive"
+        );
+        assert!(
+            self.rmav_info_slots > 0 && self.rmav_max_data_slots > 0,
+            "RMAV slot counts must be positive"
+        );
+        assert!(
+            !self.frame_duration.is_zero(),
+            "frame duration must be non-zero"
+        );
     }
 }
 
@@ -159,10 +180,22 @@ impl Default for CharismaParams {
 impl CharismaParams {
     /// Validates parameter ranges.
     pub fn validate(&self) {
-        assert!((0.0..1.0).contains(&self.beta_voice), "beta_voice must be in (0,1)");
-        assert!((0.0..1.0).contains(&self.beta_data), "beta_data must be in (0,1)");
-        assert!(self.voice_offset >= 0.0, "voice offset must be non-negative");
-        assert!(self.max_data_packets_per_grant > 0, "data grant cap must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.beta_voice),
+            "beta_voice must be in (0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.beta_data),
+            "beta_data must be in (0,1)"
+        );
+        assert!(
+            self.voice_offset >= 0.0,
+            "voice offset must be non-negative"
+        );
+        assert!(
+            self.max_data_packets_per_grant > 0,
+            "data grant cap must be positive"
+        );
     }
 }
 
@@ -244,7 +277,7 @@ impl SimConfig {
             charisma: CharismaParams::default(),
             request_queue: false,
             request_queue_capacity: 256,
-            warmup_frames: 4_000,   // 10 s warm-up
+            warmup_frames: 4_000,    // 10 s warm-up
             measured_frames: 40_000, // 100 s measured
             seed: 0x5EED_CAFE,
         }
@@ -265,10 +298,19 @@ impl SimConfig {
     pub fn validate(&self) {
         self.frame.validate();
         self.charisma.validate();
-        assert!((0.0..=1.0).contains(&self.contention.pv), "pv must be a probability");
-        assert!((0.0..=1.0).contains(&self.contention.pd), "pd must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.contention.pv),
+            "pv must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.contention.pd),
+            "pd must be a probability"
+        );
         assert!(self.measured_frames > 0, "measured_frames must be positive");
-        assert!(self.request_queue_capacity > 0, "request queue capacity must be positive");
+        assert!(
+            self.request_queue_capacity > 0,
+            "request queue capacity must be positive"
+        );
         assert!(
             self.num_voice as u64 + self.num_data as u64 > 0,
             "a scenario needs at least one terminal"
@@ -308,7 +350,10 @@ mod tests {
     #[test]
     fn request_subframe_is_larger_than_information_subframe() {
         let f = FrameStructure::default();
-        assert!(f.request_slots >= f.info_slots, "paper: N_r slightly larger than N_i");
+        assert!(
+            f.request_slots >= f.info_slots,
+            "paper: N_r slightly larger than N_i"
+        );
     }
 
     #[test]

@@ -157,18 +157,18 @@ impl UplinkMac for Charisma {
 
         // Drop gathered requests that no longer correspond to queued traffic
         // (voice packet dropped at its deadline, data buffer drained).
-        self.backlog.retain(|e| world.terminal(e.terminal).has_backlog());
+        self.backlog
+            .retain(|e| world.terminal(e.terminal).has_backlog());
 
         // --- Request gathering -------------------------------------------
         // 1. Base-station-generated requests for reserved voice terminals
         //    whose next packet is due (the 20 ms reservation renewal).
         for id in common::reserved_voice_due(world, &self.reservations) {
             if !self.backlog.iter().any(|e| e.terminal == id) {
-                let csi = self
-                    .last_csi
-                    .get(&id)
-                    .copied()
-                    .unwrap_or(CsiEstimate { snr_db: 0.0, estimated_at: SimTime::ZERO });
+                let csi = self.last_csi.get(&id).copied().unwrap_or(CsiEstimate {
+                    snr_db: 0.0,
+                    estimated_at: SimTime::ZERO,
+                });
                 self.backlog.push(Entry {
                     terminal: id,
                     class: TerminalClass::Voice,
@@ -199,7 +199,11 @@ impl UplinkMac for Charisma {
         self.refresh_csi(world, fs.pilot_slots);
 
         if world.measuring {
-            world.metrics_mut().contention.queue_length.push(self.backlog.len() as f64);
+            world
+                .metrics_mut()
+                .contention
+                .queue_length
+                .push(self.backlog.len() as f64);
         }
 
         // --- Priority allocation ------------------------------------------
@@ -237,7 +241,9 @@ impl UplinkMac for Charisma {
                     if slots > remaining + 1e-9 {
                         continue;
                     }
-                    let link = LinkAdaptation::Announced { snr_db: entry.csi.snr_db };
+                    let link = LinkAdaptation::Announced {
+                        snr_db: entry.csi.snr_db,
+                    };
                     match world.transmit_voice(entry.terminal, slots, link) {
                         VoiceTx::Delivered | VoiceTx::Errored => {
                             remaining -= slots;
@@ -271,7 +277,9 @@ impl UplinkMac for Charisma {
                     if slots <= 1e-9 {
                         continue;
                     }
-                    let link = LinkAdaptation::Announced { snr_db: entry.csi.snr_db };
+                    let link = LinkAdaptation::Announced {
+                        snr_db: entry.csi.snr_db,
+                    };
                     let tx = world.transmit_data(entry.terminal, slots, backlog_pkts, link);
                     if tx.delivered == 0 && tx.errored == 0 {
                         world.record_wasted_slots(slots);

@@ -45,7 +45,12 @@ pub fn reserved_voice_due(
 ) -> Vec<TerminalId> {
     let mut due: Vec<(SimTime, TerminalId)> = reservations
         .iter()
-        .filter_map(|&id| world.terminal(id).earliest_voice_deadline().map(|d| (d, id)))
+        .filter_map(|&id| {
+            world
+                .terminal(id)
+                .earliest_voice_deadline()
+                .map(|d| (d, id))
+        })
         .collect();
     due.sort();
     due.into_iter().map(|(_, id)| id).collect()
@@ -168,7 +173,11 @@ mod tests {
     use super::*;
 
     fn queue(enabled: bool, capacity: usize) -> RequestQueue {
-        RequestQueue { enabled, capacity, items: VecDeque::new() }
+        RequestQueue {
+            enabled,
+            capacity,
+            items: VecDeque::new(),
+        }
     }
 
     #[test]

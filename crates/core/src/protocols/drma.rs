@@ -31,7 +31,10 @@ pub struct Drma {
 impl Drma {
     /// Builds DRMA for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
-        Drma { reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+        Drma {
+            reservations: HashSet::new(),
+            queue: RequestQueue::from_config(config),
+        }
     }
 
     /// Number of terminals currently holding a voice reservation.
@@ -67,7 +70,11 @@ impl UplinkMac for Drma {
         self.queue.clear();
 
         if world.measuring {
-            world.metrics_mut().contention.queue_length.push(queued.len() as f64);
+            world
+                .metrics_mut()
+                .contention
+                .queue_length
+                .push(queued.len() as f64);
         }
 
         // Terminals that may contend when an unassigned slot is converted.

@@ -34,12 +34,20 @@ pub struct DTdma {
 impl DTdma {
     /// Builds D-TDMA/FR (fixed-throughput PHY).
     pub fn fixed_rate(config: &SimConfig) -> Self {
-        DTdma { adaptive: false, reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+        DTdma {
+            adaptive: false,
+            reservations: HashSet::new(),
+            queue: RequestQueue::from_config(config),
+        }
     }
 
     /// Builds D-TDMA/VR (variable-throughput PHY, MAC-blind).
     pub fn variable_rate(config: &SimConfig) -> Self {
-        DTdma { adaptive: true, reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+        DTdma {
+            adaptive: true,
+            reservations: HashSet::new(),
+            queue: RequestQueue::from_config(config),
+        }
     }
 
     /// Number of terminals currently holding a voice reservation.
@@ -159,7 +167,11 @@ impl UplinkMac for DTdma {
 
         if world.measuring {
             let qlen = self.queue.len() + queued.len();
-            world.metrics_mut().contention.queue_length.push(qlen as f64);
+            world
+                .metrics_mut()
+                .contention
+                .queue_length
+                .push(qlen as f64);
         }
 
         let mut remaining = fs.info_slots as f64;

@@ -33,7 +33,10 @@ pub struct Rama {
 impl Rama {
     /// Builds RAMA for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
-        Rama { reservations: HashSet::new(), queue: RequestQueue::from_config(config) }
+        Rama {
+            reservations: HashSet::new(),
+            queue: RequestQueue::from_config(config),
+        }
     }
 
     /// Number of terminals currently holding a voice reservation.
@@ -120,7 +123,11 @@ impl UplinkMac for Rama {
         service.extend(winners);
 
         if world.measuring {
-            world.metrics_mut().contention.queue_length.push(queued.len() as f64);
+            world
+                .metrics_mut()
+                .contention
+                .queue_length
+                .push(queued.len() as f64);
         }
 
         let mut remaining = fs.info_slots as f64;

@@ -48,7 +48,10 @@ pub struct Rmav {
 impl Rmav {
     /// Builds RMAV for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
-        Rmav { grants: VecDeque::new(), max_data_slots: config.frame.rmav_max_data_slots }
+        Rmav {
+            grants: VecDeque::new(),
+            max_data_slots: config.frame.rmav_max_data_slots,
+        }
     }
 
     /// Number of outstanding grants awaiting information slots.
@@ -76,7 +79,8 @@ impl UplinkMac for Rmav {
 
         // Drop grants whose terminal no longer has anything to send (the
         // voice packet expired, or the data burst drained).
-        self.grants.retain(|g| world.terminal(g.terminal).has_backlog());
+        self.grants
+            .retain(|g| world.terminal(g.terminal).has_backlog());
 
         // --- The single competitive request slot -------------------------
         let exclude: HashSet<TerminalId> = self.grants.iter().map(|g| g.terminal).collect();
@@ -88,20 +92,31 @@ impl UplinkMac for Rmav {
                 TerminalClass::Voice => 1,
                 TerminalClass::Data => {
                     let backlog = world.terminal(winner).data_backlog();
-                    self.max_data_slots.min(backlog.min(u32::MAX as u64) as u32).max(1)
+                    self.max_data_slots
+                        .min(backlog.min(u32::MAX as u64) as u32)
+                        .max(1)
                 }
             };
-            self.grants.push_back(Grant { terminal: winner, slots_left: slots });
+            self.grants.push_back(Grant {
+                terminal: winner,
+                slots_left: slots,
+            });
         }
 
         if world.measuring {
-            world.metrics_mut().contention.queue_length.push(self.grants.len() as f64);
+            world
+                .metrics_mut()
+                .contention
+                .queue_length
+                .push(self.grants.len() as f64);
         }
 
         // --- Information slots: serve the grant queue FIFO ----------------
         let mut remaining = fs.rmav_info_slots;
         while remaining > 0 {
-            let Some(mut grant) = self.grants.pop_front() else { break };
+            let Some(mut grant) = self.grants.pop_front() else {
+                break;
+            };
             let id = grant.terminal;
             match world.terminal(id).class() {
                 TerminalClass::Voice => {
@@ -123,7 +138,8 @@ impl UplinkMac for Rmav {
                         continue;
                     }
                     let use_slots = grant.slots_left.min(remaining);
-                    let tx = world.transmit_data(id, use_slots as f64, u32::MAX, LinkAdaptation::Fixed);
+                    let tx =
+                        world.transmit_data(id, use_slots as f64, u32::MAX, LinkAdaptation::Fixed);
                     if tx.delivered == 0 && tx.errored == 0 {
                         world.record_wasted_slots(use_slots as f64);
                     }

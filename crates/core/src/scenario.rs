@@ -220,8 +220,14 @@ mod tests {
             let report = scenario.run(p);
             assert_eq!(report.protocol, p);
             assert!(report.metrics.frames > 0);
-            assert!(report.voice_loss_rate() >= 0.0 && report.voice_loss_rate() <= 1.0, "{p}");
-            assert!(report.metrics.voice.generated > 0, "{p} generated no voice packets");
+            assert!(
+                report.voice_loss_rate() >= 0.0 && report.voice_loss_rate() <= 1.0,
+                "{p}"
+            );
+            assert!(
+                report.metrics.voice.generated > 0,
+                "{p} generated no voice packets"
+            );
         }
     }
 
@@ -299,6 +305,10 @@ mod tests {
         let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
         // Each data terminal offers 0.25 packets per frame on average; the
         // delivered per-user throughput cannot exceed it by more than noise.
-        assert!(report.data_throughput_per_user() < 0.40, "got {}", report.data_throughput_per_user());
+        assert!(
+            report.data_throughput_per_user() < 0.40,
+            "got {}",
+            report.data_throughput_per_user()
+        );
     }
 }

@@ -43,7 +43,9 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
         return Vec::new();
     }
     let worker_count = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     }
@@ -61,7 +63,8 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<SweepResult>>> =
+        Mutex::new((0..points.len()).map(|_| None).collect());
     let points_ref = &points;
     let next_ref = &next;
     let results_ref = &results;
@@ -75,7 +78,11 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
                 }
                 let point = &points_ref[idx];
                 let report = Scenario::new(point.config.clone()).run(point.protocol);
-                let result = SweepResult { load: point.load, protocol: point.protocol, report };
+                let result = SweepResult {
+                    load: point.load,
+                    protocol: point.protocol,
+                    report,
+                };
                 results_ref.lock().expect("sweep result mutex poisoned")[idx] = Some(result);
             });
         }
@@ -106,7 +113,11 @@ pub fn voice_load_sweep(
             config.num_voice = nv;
             config.num_data = num_data;
             config.request_queue = request_queue && protocol.supports_request_queue();
-            SweepPoint { load: nv as f64, protocol, config }
+            SweepPoint {
+                load: nv as f64,
+                protocol,
+                config,
+            }
         })
         .collect()
 }
@@ -128,7 +139,11 @@ pub fn data_load_sweep(
             config.num_voice = num_voice;
             config.num_data = nd;
             config.request_queue = request_queue && protocol.supports_request_queue();
-            SweepPoint { load: nd as f64, protocol, config }
+            SweepPoint {
+                load: nd as f64,
+                protocol,
+                config,
+            }
         })
         .collect()
 }
@@ -165,7 +180,10 @@ mod tests {
         let parallel = run_sweep(points, 4);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
-            assert_eq!(s.report, p.report, "parallel execution must not change results");
+            assert_eq!(
+                s.report, p.report,
+                "parallel execution must not change results"
+            );
         }
     }
 
@@ -183,7 +201,10 @@ mod tests {
         let base = tiny_config();
         let points = data_load_sweep(&base, ProtocolKind::Drma, &[1, 2, 3], 7, false);
         assert!(points.iter().all(|p| p.config.num_voice == 7));
-        assert_eq!(points.iter().map(|p| p.load).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            points.iter().map(|p| p.load).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

@@ -65,7 +65,8 @@ impl Terminal {
         streams: &RngStreams,
     ) -> Self {
         let idx = id.index();
-        let mut speed_rng = streams.stream(StreamId::new(StreamId::DOMAIN_PROTOCOL, idx ^ 0x8000_0000));
+        let mut speed_rng =
+            streams.stream(StreamId::new(StreamId::DOMAIN_PROTOCOL, idx ^ 0x8000_0000));
         let mobility = Mobility::new(speed.sample(&mut speed_rng));
         let channel = CombinedChannel::new(
             channel_cfg,
@@ -90,7 +91,10 @@ impl Terminal {
                 )),
             ),
         };
-        let in_talkspurt = voice_source.as_ref().map(|s| s.is_talking()).unwrap_or(false);
+        let in_talkspurt = voice_source
+            .as_ref()
+            .map(|s| s.is_talking())
+            .unwrap_or(false);
         Terminal {
             id,
             class,
@@ -184,11 +188,12 @@ impl Terminal {
         let now = self.clock.frame_start(frame_index);
         self.channel.advance_to(now);
 
-        let mut out = FrameTraffic::default();
-
-        // Deadline enforcement happens before new packets arrive so a packet
-        // generated at this boundary can never be dropped at the same boundary.
-        out.voice_packets_dropped = self.voice_buffer.drop_expired(now) as u32;
+        let mut out = FrameTraffic {
+            // Deadline enforcement happens before new packets arrive so a packet
+            // generated at this boundary can never be dropped at the same boundary.
+            voice_packets_dropped: self.voice_buffer.drop_expired(now) as u32,
+            ..FrameTraffic::default()
+        };
 
         if let Some(src) = &mut self.voice_source {
             let activity = src.on_frame_start(frame_index);
@@ -197,7 +202,10 @@ impl Terminal {
             out.talkspurt_ended = activity.talkspurt_ended;
             if activity.packet_generated {
                 let deadline = src.deadline_for(frame_index);
-                self.voice_buffer.push(VoicePacket { generated_at: now, deadline });
+                self.voice_buffer.push(VoicePacket {
+                    generated_at: now,
+                    deadline,
+                });
                 out.voice_packet_generated = true;
             }
         }
@@ -242,12 +250,21 @@ mod tests {
             let tr = t.begin_frame(k);
             generated += tr.voice_packet_generated as u64;
             dropped += tr.voice_packets_dropped as u64;
-            assert_eq!(tr.data_packets_arrived, 0, "voice terminal must not produce data");
+            assert_eq!(
+                tr.data_packets_arrived, 0,
+                "voice terminal must not produce data"
+            );
         }
-        assert!(generated > 1_000, "expected many voice packets, got {generated}");
+        assert!(
+            generated > 1_000,
+            "expected many voice packets, got {generated}"
+        );
         // Nothing is ever transmitted in this test, so every packet must
         // eventually be dropped at its deadline (modulo those still queued).
-        assert!(dropped >= generated - 2, "generated {generated}, dropped {dropped}");
+        assert!(
+            dropped >= generated - 2,
+            "generated {generated}, dropped {dropped}"
+        );
         assert!(t.voice_backlog() <= 2);
     }
 
@@ -261,7 +278,11 @@ mod tests {
             assert!(!tr.voice_packet_generated);
         }
         assert!(arrived > 1_000, "expected data arrivals, got {arrived}");
-        assert_eq!(t.data_backlog(), arrived, "nothing was served, backlog must equal arrivals");
+        assert_eq!(
+            t.data_backlog(),
+            arrived,
+            "nothing was served, backlog must equal arrivals"
+        );
         assert!(t.has_backlog());
     }
 
@@ -286,7 +307,10 @@ mod tests {
                 last = t.in_talkspurt();
             }
         }
-        assert!(toggles > 50, "talkspurt state should toggle many times, saw {toggles}");
+        assert!(
+            toggles > 50,
+            "talkspurt state should toggle many times, saw {toggles}"
+        );
     }
 
     #[test]
@@ -323,6 +347,9 @@ mod tests {
                 differing += 1;
             }
         }
-        assert!(differing > 100, "two terminals should have distinct traffic, {differing} frames differed");
+        assert!(
+            differing > 100,
+            "two terminals should have distinct traffic, {differing} frames differed"
+        );
     }
 }

@@ -275,9 +275,9 @@ impl<'a> FrameWorld<'a> {
         match link {
             LinkAdaptation::Fixed => self.fixed_phy.packet_error_probability(true_snr),
             LinkAdaptation::Tracking => self.adaptive_phy.packet_error_probability(true_snr),
-            LinkAdaptation::Announced { snr_db } => {
-                self.adaptive_phy.announced_packet_error_probability(snr_db, true_snr)
-            }
+            LinkAdaptation::Announced { snr_db } => self
+                .adaptive_phy
+                .announced_packet_error_probability(snr_db, true_snr),
         }
     }
 
@@ -385,7 +385,9 @@ impl<'a> FrameWorld<'a> {
                 if ok {
                     result.delivered += 1;
                     if measuring {
-                        self.metrics.data.record_delivery(now.saturating_duration_since(run.arrived_at));
+                        self.metrics
+                            .data
+                            .record_delivery(now.saturating_duration_since(run.arrived_at));
                         self.metrics.slots.packets_carried += 1;
                     }
                 } else {
@@ -436,7 +438,11 @@ mod tests {
         let clock = config.clock();
         let mut terminals: Vec<Terminal> = (0..n_voice + n_data)
             .map(|i| {
-                let class = if i < n_voice { TerminalClass::Voice } else { TerminalClass::Data };
+                let class = if i < n_voice {
+                    TerminalClass::Voice
+                } else {
+                    TerminalClass::Data
+                };
                 Terminal::new(
                     TerminalId(i),
                     class,
@@ -458,9 +464,15 @@ mod tests {
         let mut metrics = RunMetrics::default();
         let mut estimator = CsiEstimator::new(
             CsiEstimatorConfig::default(),
-            streams.stream(charisma_des::StreamId::new(charisma_des::StreamId::DOMAIN_ESTIMATION, u32::MAX)),
+            streams.stream(charisma_des::StreamId::new(
+                charisma_des::StreamId::DOMAIN_ESTIMATION,
+                u32::MAX,
+            )),
         );
-        let mut bs_rng = streams.stream(charisma_des::StreamId::new(charisma_des::StreamId::DOMAIN_PROTOCOL, u32::MAX));
+        let mut bs_rng = streams.stream(charisma_des::StreamId::new(
+            charisma_des::StreamId::DOMAIN_PROTOCOL,
+            u32::MAX,
+        ));
         let world = FrameWorld::new(
             setup_frames,
             &config,
@@ -510,7 +522,10 @@ mod tests {
             let _ = w.contend(5, &ids);
             let c = &w.metrics_mut().contention;
             assert!(c.attempts > 0, "some attempts should be made");
-            assert_eq!(c.attempts, c.collisions + c.successes + (c.attempts - c.collisions - c.successes));
+            assert_eq!(
+                c.attempts,
+                c.collisions + c.successes + (c.attempts - c.collisions - c.successes)
+            );
             // With 60 contenders at pv=0.3 nearly every slot collides.
             assert!(c.collisions > 0);
         });
@@ -521,7 +536,12 @@ mod tests {
         with_world(1, 0, 0, |mut w| {
             // Frame 0: the terminal may or may not have generated a packet;
             // drain the buffer first to force the NoPacket path.
-            while w.terminal_mut(TerminalId(0)).voice_buffer_mut().pop().is_some() {}
+            while w
+                .terminal_mut(TerminalId(0))
+                .voice_buffer_mut()
+                .pop()
+                .is_some()
+            {}
             let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Fixed);
             assert_eq!(r, VoiceTx::NoPacket);
         });
@@ -534,7 +554,10 @@ mod tests {
             let now = w.now;
             w.terminal_mut(TerminalId(0))
                 .voice_buffer_mut()
-                .push(VoicePacket { generated_at: now, deadline: now + charisma_des::SimDuration::from_millis(20) });
+                .push(VoicePacket {
+                    generated_at: now,
+                    deadline: now + charisma_des::SimDuration::from_millis(20),
+                });
             let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Fixed);
             assert!(matches!(r, VoiceTx::Delivered | VoiceTx::Errored));
             let m = w.metrics_mut();
@@ -550,10 +573,17 @@ mod tests {
             let now = w.now;
             w.terminal_mut(TerminalId(0))
                 .voice_buffer_mut()
-                .push(VoicePacket { generated_at: now, deadline: now + charisma_des::SimDuration::from_millis(20) });
+                .push(VoicePacket {
+                    generated_at: now,
+                    deadline: now + charisma_des::SimDuration::from_millis(20),
+                });
             // Announce a 60 dB estimate: the true channel is far below, so the
             // announced (densest) mode cannot be sustained.
-            let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Announced { snr_db: 60.0 });
+            let r = w.transmit_voice(
+                TerminalId(0),
+                1.0,
+                LinkAdaptation::Announced { snr_db: 60.0 },
+            );
             // With outage_per = 0.7 the packet usually errors; both outcomes
             // are legal but the error probability used must be the outage one,
             // which we verify through statistics over many draws elsewhere.
@@ -568,9 +598,16 @@ mod tests {
             let now = w.now;
             w.terminal_mut(TerminalId(0))
                 .voice_buffer_mut()
-                .push(VoicePacket { generated_at: now, deadline: now + charisma_des::SimDuration::from_millis(20) });
+                .push(VoicePacket {
+                    generated_at: now,
+                    deadline: now + charisma_des::SimDuration::from_millis(20),
+                });
             // Announcing a deep-outage CSI yields zero capacity: nothing sent.
-            let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Announced { snr_db: -40.0 });
+            let r = w.transmit_voice(
+                TerminalId(0),
+                1.0,
+                LinkAdaptation::Announced { snr_db: -40.0 },
+            );
             assert_eq!(r, VoiceTx::InsufficientCapacity);
             assert_eq!(w.terminal(TerminalId(0)).voice_backlog(), 1);
         });
@@ -580,10 +617,15 @@ mod tests {
     fn transmit_data_moves_packets_and_measures_delay() {
         with_world(0, 1, 0, |mut w| {
             let now = w.now;
-            w.terminal_mut(TerminalId(0)).data_buffer_mut().push_burst(now, 50);
+            w.terminal_mut(TerminalId(0))
+                .data_buffer_mut()
+                .push_burst(now, 50);
             let r = w.transmit_data(TerminalId(0), 4.0, 10, LinkAdaptation::Fixed);
             assert_eq!(r.delivered + r.errored, 4); // 4 slots × 1 pkt/slot, cap 10
-            assert_eq!(w.terminal(TerminalId(0)).data_backlog(), 50 - r.delivered as u64);
+            assert_eq!(
+                w.terminal(TerminalId(0)).data_backlog(),
+                50 - r.delivered as u64
+            );
             let m = w.metrics_mut();
             assert_eq!(m.data.delivered, r.delivered as u64);
             assert_eq!(m.data.retransmissions, r.errored as u64);
@@ -594,7 +636,9 @@ mod tests {
     fn transmit_data_respects_packet_cap() {
         with_world(0, 1, 0, |mut w| {
             let now = w.now;
-            w.terminal_mut(TerminalId(0)).data_buffer_mut().push_burst(now, 50);
+            w.terminal_mut(TerminalId(0))
+                .data_buffer_mut()
+                .push_burst(now, 50);
             let r = w.transmit_data(TerminalId(0), 8.0, 3, LinkAdaptation::Fixed);
             assert!(r.delivered + r.errored <= 3);
         });
@@ -604,11 +648,21 @@ mod tests {
     fn errored_data_packets_keep_their_arrival_time() {
         with_world(0, 1, 0, |mut w| {
             let arrival = w.now;
-            w.terminal_mut(TerminalId(0)).data_buffer_mut().push_burst(arrival, 5);
+            w.terminal_mut(TerminalId(0))
+                .data_buffer_mut()
+                .push_burst(arrival, 5);
             // Force certain errors by announcing an absurd mode.
-            let r = w.transmit_data(TerminalId(0), 1.0, 5, LinkAdaptation::Announced { snr_db: 55.0 });
+            let r = w.transmit_data(
+                TerminalId(0),
+                1.0,
+                5,
+                LinkAdaptation::Announced { snr_db: 55.0 },
+            );
             if r.errored > 0 {
-                assert_eq!(w.terminal(TerminalId(0)).oldest_data_arrival(), Some(arrival));
+                assert_eq!(
+                    w.terminal(TerminalId(0)).oldest_data_arrival(),
+                    Some(arrival)
+                );
             }
         });
     }
@@ -626,8 +680,14 @@ mod tests {
     fn capacity_fixed_is_one_and_announced_tracks_estimate() {
         with_world(1, 0, 0, |mut w| {
             assert_eq!(w.capacity(TerminalId(0), LinkAdaptation::Fixed), 1.0);
-            assert_eq!(w.capacity(TerminalId(0), LinkAdaptation::Announced { snr_db: 30.0 }), 5.0);
-            assert_eq!(w.capacity(TerminalId(0), LinkAdaptation::Announced { snr_db: -40.0 }), 0.0);
+            assert_eq!(
+                w.capacity(TerminalId(0), LinkAdaptation::Announced { snr_db: 30.0 }),
+                5.0
+            );
+            assert_eq!(
+                w.capacity(TerminalId(0), LinkAdaptation::Announced { snr_db: -40.0 }),
+                0.0
+            );
         });
     }
 }

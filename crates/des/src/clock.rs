@@ -77,7 +77,10 @@ impl FrameClock {
     /// Decomposes `t` into its containing frame and the offset within it.
     pub fn position(&self, t: SimTime) -> SlotPosition {
         let k = self.frame_index(t);
-        SlotPosition { frame: k, offset: t.duration_since(self.frame_start(k)) }
+        SlotPosition {
+            frame: k,
+            offset: t.duration_since(self.frame_start(k)),
+        }
     }
 
     /// Number of whole frames per `period` (e.g. 8 frames per 20 ms voice
@@ -118,9 +121,18 @@ mod tests {
     fn next_boundary_rounds_up_and_is_idempotent_on_boundaries() {
         let c = FrameClock::paper_default();
         assert_eq!(c.next_boundary(SimTime::ZERO), SimTime::ZERO);
-        assert_eq!(c.next_boundary(SimTime::from_micros(1)), SimTime::from_micros(2_500));
-        assert_eq!(c.next_boundary(SimTime::from_micros(2_500)), SimTime::from_micros(2_500));
-        assert_eq!(c.next_boundary(SimTime::from_micros(2_501)), SimTime::from_micros(5_000));
+        assert_eq!(
+            c.next_boundary(SimTime::from_micros(1)),
+            SimTime::from_micros(2_500)
+        );
+        assert_eq!(
+            c.next_boundary(SimTime::from_micros(2_500)),
+            SimTime::from_micros(2_500)
+        );
+        assert_eq!(
+            c.next_boundary(SimTime::from_micros(2_501)),
+            SimTime::from_micros(5_000)
+        );
     }
 
     #[test]

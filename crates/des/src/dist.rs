@@ -24,7 +24,10 @@ impl Sampler {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn exponential(rng: &mut Xoshiro256StarStar, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
         -mean * rng.next_f64_open().ln()
     }
 
@@ -128,7 +131,10 @@ mod tests {
         let mean = 1.35;
         let sum: f64 = (0..n).map(|_| Sampler::exponential(&mut r, mean)).sum();
         let m = sum / n as f64;
-        assert!((m - mean).abs() < 0.02, "sample mean {m} vs expected {mean}");
+        assert!(
+            (m - mean).abs() < 0.02,
+            "sample mean {m} vs expected {mean}"
+        );
     }
 
     #[test]
@@ -167,16 +173,23 @@ mod tests {
     fn rayleigh_unit_power_has_unit_second_moment() {
         let mut r = rng(5);
         let n = 200_000;
-        let sumsq: f64 = (0..n).map(|_| Sampler::rayleigh_unit_power(&mut r).powi(2)).sum();
+        let sumsq: f64 = (0..n)
+            .map(|_| Sampler::rayleigh_unit_power(&mut r).powi(2))
+            .sum();
         let second_moment = sumsq / n as f64;
-        assert!((second_moment - 1.0).abs() < 0.02, "E[c^2] = {second_moment}");
+        assert!(
+            (second_moment - 1.0).abs() < 0.02,
+            "E[c^2] = {second_moment}"
+        );
     }
 
     #[test]
     fn rayleigh_median_matches_theory() {
         // Median of a Rayleigh with E[r²]=1 is sqrt(ln 2) ≈ 0.8326.
         let mut r = rng(6);
-        let mut v: Vec<f64> = (0..50_001).map(|_| Sampler::rayleigh_unit_power(&mut r)).collect();
+        let mut v: Vec<f64> = (0..50_001)
+            .map(|_| Sampler::rayleigh_unit_power(&mut r))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[25_000];
         assert!((median - 0.8326).abs() < 0.01, "median {median}");
@@ -246,7 +259,9 @@ mod tests {
         let mut r = rng(12);
         let p = 0.25;
         let n = 100_000;
-        let sum: f64 = (0..n).map(|_| Sampler::geometric_failures(&mut r, p) as f64).sum();
+        let sum: f64 = (0..n)
+            .map(|_| Sampler::geometric_failures(&mut r, p) as f64)
+            .sum();
         let mean = sum / n as f64;
         let expected = (1.0 - p) / p; // mean number of failures before success
         assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");

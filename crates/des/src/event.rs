@@ -77,12 +77,20 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty calendar with the clock at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Creates an empty calendar with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulation time, i.e. the activation time of the most
@@ -227,10 +235,16 @@ mod tests {
         q.schedule(SimTime::from_micros(10), Ev::A(1));
         q.schedule(SimTime::from_micros(30), Ev::A(2));
 
-        assert_eq!(q.pop_until(SimTime::from_micros(20)), Some((SimTime::from_micros(10), Ev::A(1))));
+        assert_eq!(
+            q.pop_until(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(10), Ev::A(1)))
+        );
         assert_eq!(q.pop_until(SimTime::from_micros(20)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_until(SimTime::from_micros(30)), Some((SimTime::from_micros(30), Ev::A(2))));
+        assert_eq!(
+            q.pop_until(SimTime::from_micros(30)),
+            Some((SimTime::from_micros(30), Ev::A(2)))
+        );
     }
 
     #[test]

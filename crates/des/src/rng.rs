@@ -211,7 +211,8 @@ impl RngStreams {
         // that (domain, entity) pairs that differ in a single bit map to
         // uncorrelated seeds.
         let mut sm = SplitMix64::new(
-            self.master_seed ^ ((id.domain as u64) << 32 | id.entity as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            self.master_seed
+                ^ ((id.domain as u64) << 32 | id.entity as u64).wrapping_mul(0xA24B_AED4_963E_E407),
         );
         let a = sm.next_u64();
         let mut sm2 = SplitMix64::new(a ^ (id.entity as u64).rotate_left(17));
@@ -265,7 +266,10 @@ mod tests {
             sum += u;
         }
         let mean = sum / n as f64;
-        assert!((mean - 0.5).abs() < 0.01, "mean of U(0,1) samples was {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.01,
+            "mean of U(0,1) samples was {mean}"
+        );
     }
 
     #[test]
@@ -283,7 +287,10 @@ mod tests {
             let mut buf = vec![0u8; len];
             rng.fill_bytes(&mut buf);
             if len >= 8 {
-                assert!(buf.iter().any(|&b| b != 0), "filled buffer of len {len} was all zero");
+                assert!(
+                    buf.iter().any(|&b| b != 0),
+                    "filled buffer of len {len} was all zero"
+                );
             }
         }
     }
@@ -349,6 +356,9 @@ mod tests {
         let nf = n as f64;
         let cov = sab / nf - (sa / nf) * (sb / nf);
         let corr = cov / ((saa / nf).sqrt() * (sbb / nf).sqrt());
-        assert!(corr.abs() < 0.03, "cross-stream correlation too high: {corr}");
+        assert!(
+            corr.abs() < 0.03,
+            "cross-stream correlation too high: {corr}"
+        );
     }
 }

@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
 /// A span of simulated time, in whole microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -36,7 +38,10 @@ impl SimDuration {
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// microsecond.  Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative, got {s}"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -133,7 +138,9 @@ impl Rem<SimDuration> for SimDuration {
 
 /// An absolute instant on the simulation timeline, in whole microseconds
 /// since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -162,7 +169,11 @@ impl SimTime {
     /// than `self` (an elapsed time can never be negative in a monotone
     /// simulation).
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("duration_since: earlier is after self"))
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier is after self"),
+        )
     }
 
     /// The duration elapsed since `earlier`, or zero if `earlier` is later.
@@ -188,7 +199,11 @@ impl fmt::Display for SimTime {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.as_micros()).expect("simulation time overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.as_micros())
+                .expect("simulation time overflow"),
+        )
     }
 }
 
@@ -201,7 +216,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.as_micros()).expect("simulation time underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.as_micros())
+                .expect("simulation time underflow"),
+        )
     }
 }
 
@@ -219,9 +238,18 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_millis(2), SimDuration::from_micros(2_000));
-        assert_eq!(SimDuration::from_secs(3), SimDuration::from_micros(3_000_000));
-        assert_eq!(SimDuration::from_secs_f64(0.0025), SimDuration::from_micros(2_500));
-        assert_eq!(SimDuration::from_secs_f64(1.35), SimDuration::from_micros(1_350_000));
+        assert_eq!(
+            SimDuration::from_secs(3),
+            SimDuration::from_micros(3_000_000)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0025),
+            SimDuration::from_micros(2_500)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.35),
+            SimDuration::from_micros(1_350_000)
+        );
     }
 
     #[test]
@@ -273,7 +301,9 @@ mod tests {
     #[test]
     fn far_future_behaves_as_infinite_deadline() {
         assert!(SimTime::FAR_FUTURE > SimTime::from_micros(u64::MAX - 1));
-        assert!(SimTime::FAR_FUTURE.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::FAR_FUTURE
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
     }
 
     #[test]

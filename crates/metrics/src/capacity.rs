@@ -17,7 +17,10 @@
 /// * the largest measured load if the threshold is never exceeded (the curve
 ///   never crosses within the measured range).
 pub fn capacity_at_threshold(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
-    assert!(!points.is_empty(), "capacity search needs at least one sweep point");
+    assert!(
+        !points.is_empty(),
+        "capacity search needs at least one sweep point"
+    );
     assert!(
         points.windows(2).all(|w| w[0].0 <= w[1].0),
         "sweep points must be sorted by increasing load"
@@ -45,7 +48,10 @@ pub fn capacity_at_threshold(points: &[(f64, f64)], threshold: f64) -> Option<f6
 /// curves that are "good when high" (e.g. per-user throughput): the largest
 /// load with `metric ≥ threshold`.
 pub fn crossing_load(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
-    assert!(!points.is_empty(), "capacity search needs at least one sweep point");
+    assert!(
+        !points.is_empty(),
+        "capacity search needs at least one sweep point"
+    );
     let inverted: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x, -y)).collect();
     capacity_at_threshold(&inverted, -threshold)
 }
@@ -59,7 +65,10 @@ mod tests {
         // loss of 0.5% at 80 users, 2% at 120 users: 1% is crossed at ~93.3.
         let pts = [(40.0, 0.001), (80.0, 0.005), (120.0, 0.02)];
         let cap = capacity_at_threshold(&pts, 0.01).unwrap();
-        assert!((cap - (80.0 + 40.0 * (0.005 / 0.015))).abs() < 1e-9, "capacity {cap}");
+        assert!(
+            (cap - (80.0 + 40.0 * (0.005 / 0.015))).abs() < 1e-9,
+            "capacity {cap}"
+        );
     }
 
     #[test]
@@ -101,7 +110,10 @@ mod tests {
         let cap = crossing_load(&pts, 0.25).unwrap();
         // Crossing between 20 (0.5) and 40 (0.2): 0.25 at 20 + 20*(0.25/0.3) from the top.
         let expected = 20.0 + 20.0 * ((0.5 - 0.25) / 0.3);
-        assert!((cap - expected).abs() < 1e-9, "capacity {cap} vs {expected}");
+        assert!(
+            (cap - expected).abs() < 1e-9,
+            "capacity {cap} vs {expected}"
+        );
     }
 
     #[test]

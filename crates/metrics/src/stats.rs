@@ -18,12 +18,21 @@ pub struct RunningStat {
 impl RunningStat {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStat { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStat {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "RunningStat observation must be finite, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "RunningStat observation must be finite, got {x}"
+        );
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;

@@ -47,8 +47,14 @@ pub struct AdaptivePhy {
 impl AdaptivePhy {
     /// Creates the adaptive PHY after validating the error probabilities.
     pub fn new(config: AdaptivePhyConfig) -> Self {
-        assert!((0.0..=1.0).contains(&config.in_range_per), "in_range_per must be a probability");
-        assert!((0.0..=1.0).contains(&config.outage_per), "outage_per must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&config.in_range_per),
+            "in_range_per must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.outage_per),
+            "outage_per must be a probability"
+        );
         assert!(
             config.outage_per >= config.in_range_per,
             "outage error probability must not be lower than the in-range error probability"
@@ -81,7 +87,11 @@ impl AdaptivePhy {
     /// further below the announced mode's adaptation threshold the error rate
     /// climbs smoothly towards the outage value.  Announcing a mode while the
     /// terminal is in outage always yields the outage error rate.
-    pub fn announced_packet_error_probability(&self, announced_snr_db: f64, true_snr_db: f64) -> f64 {
+    pub fn announced_packet_error_probability(
+        &self,
+        announced_snr_db: f64,
+        true_snr_db: f64,
+    ) -> f64 {
         let announced_mode = self.config.thresholds.select(announced_snr_db);
         if !announced_mode.is_active() || true_snr_db.is_nan() {
             return self.config.outage_per;
@@ -171,7 +181,10 @@ mod tests {
             acc += phy.packets_per_slot(snr_db);
         }
         let avg = acc / n as f64;
-        assert!((2.0..=3.5).contains(&avg), "average adaptive capacity {avg}");
+        assert!(
+            (2.0..=3.5).contains(&avg),
+            "average adaptive capacity {avg}"
+        );
     }
 
     #[test]
@@ -179,8 +192,12 @@ mod tests {
         let phy = AdaptivePhy::default();
         let mut rng = Xoshiro256StarStar::from_seed_u64(4);
         let n = 20_000;
-        let in_range_fail = (0..n).filter(|_| !phy.transmit_packet(10.0, &mut rng)).count();
-        let outage_fail = (0..n).filter(|_| !phy.transmit_packet(-30.0, &mut rng)).count();
+        let in_range_fail = (0..n)
+            .filter(|_| !phy.transmit_packet(10.0, &mut rng))
+            .count();
+        let outage_fail = (0..n)
+            .filter(|_| !phy.transmit_packet(-30.0, &mut rng))
+            .count();
         assert!((in_range_fail as f64) / (n as f64) < 0.01);
         assert!((outage_fail as f64) / (n as f64) > 0.6);
     }
@@ -206,7 +223,10 @@ mod tests {
         let mut snr = -20.0;
         while snr < 30.0 {
             let p = phy.announced_packet_error_probability(18.0, snr);
-            assert!(p <= last + 1e-12, "error increased with improving channel at {snr} dB");
+            assert!(
+                p <= last + 1e-12,
+                "error increased with improving channel at {snr} dB"
+            );
             assert!((0.0..=1.0).contains(&p));
             last = p;
             snr += 0.5;
@@ -216,7 +236,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be a probability")]
     fn invalid_per_rejected() {
-        let _ = AdaptivePhy::new(AdaptivePhyConfig { in_range_per: 1.5, ..Default::default() });
+        let _ = AdaptivePhy::new(AdaptivePhyConfig {
+            in_range_per: 1.5,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl Default for FixedPhyConfig {
         // margin is ~28 dB, giving a low-load error floor of a few tenths of a
         // percent — visible in the loss curves (as in the paper) but below
         // the 1 % QoS threshold.
-        FixedPhyConfig { design_threshold_db: -10.0, slope_db: 1.5, residual_per: 1e-3 }
+        FixedPhyConfig {
+            design_threshold_db: -10.0,
+            slope_db: 1.5,
+            residual_per: 1e-3,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ impl FixedPhy {
     /// Creates the fixed PHY after validating the configuration.
     pub fn new(config: FixedPhyConfig) -> Self {
         assert!(config.slope_db > 0.0, "logistic slope must be positive");
-        assert!((0.0..=1.0).contains(&config.residual_per), "residual_per must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&config.residual_per),
+            "residual_per must be a probability"
+        );
         FixedPhy { config }
     }
 
@@ -111,7 +118,10 @@ mod tests {
     fn half_error_at_design_threshold_and_floor_far_above() {
         let phy = FixedPhy::default();
         let at_threshold = phy.packet_error_probability(-10.0);
-        assert!((at_threshold - 0.5).abs() < 0.01, "PER at threshold {at_threshold}");
+        assert!(
+            (at_threshold - 0.5).abs() < 0.01,
+            "PER at threshold {at_threshold}"
+        );
         let far_above = phy.packet_error_probability(30.0);
         assert!((far_above - 1e-3).abs() < 1e-6, "floor {far_above}");
         let far_below = phy.packet_error_probability(-40.0);
@@ -145,6 +155,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "slope must be positive")]
     fn invalid_slope_rejected() {
-        let _ = FixedPhy::new(FixedPhyConfig { slope_db: 0.0, ..Default::default() });
+        let _ = FixedPhy::new(FixedPhyConfig {
+            slope_db: 0.0,
+            ..Default::default()
+        });
     }
 }

@@ -96,13 +96,18 @@ impl AdaptationThresholds {
     /// range (mode 3–4), giving the ≈2× average throughput advantage over the
     /// fixed-rate PHY that the paper quotes for D-TDMA/VR.
     pub fn paper_default() -> Self {
-        AdaptationThresholds { boundaries: [-8.0, -2.0, 4.0, 10.0, 16.0, 22.0] }
+        AdaptationThresholds {
+            boundaries: [-8.0, -2.0, 4.0, 10.0, 16.0, 22.0],
+        }
     }
 
     /// Creates thresholds after validating monotonicity.
     pub fn new(boundaries: [f64; 6]) -> Self {
         for w in boundaries.windows(2) {
-            assert!(w[0] < w[1], "adaptation thresholds must be strictly increasing: {boundaries:?}");
+            assert!(
+                w[0] < w[1],
+                "adaptation thresholds must be strictly increasing: {boundaries:?}"
+            );
         }
         AdaptationThresholds { boundaries }
     }
@@ -141,8 +146,10 @@ mod tests {
 
     #[test]
     fn throughputs_match_the_papers_range() {
-        let tps: Vec<f64> =
-            TransmissionMode::ACTIVE_MODES.iter().map(|m| m.normalized_throughput()).collect();
+        let tps: Vec<f64> = TransmissionMode::ACTIVE_MODES
+            .iter()
+            .map(|m| m.normalized_throughput())
+            .collect();
         assert_eq!(tps, vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(TransmissionMode::Outage.normalized_throughput(), 0.0);
     }
@@ -160,7 +167,10 @@ mod tests {
         let mut snr = -20.0;
         while snr <= 40.0 {
             let m = th.select(snr);
-            assert!(m >= last, "mode decreased from {last:?} to {m:?} at {snr} dB");
+            assert!(
+                m >= last,
+                "mode decreased from {last:?} to {m:?} at {snr} dB"
+            );
             last = m;
             snr += 0.25;
         }

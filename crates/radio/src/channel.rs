@@ -20,7 +20,10 @@ pub struct ChannelConfig {
 
 impl Default for ChannelConfig {
     fn default() -> Self {
-        ChannelConfig { mean_snr_db: 18.0, shadowing: ShadowingConfig::default() }
+        ChannelConfig {
+            mean_snr_db: 18.0,
+            shadowing: ShadowingConfig::default(),
+        }
     }
 }
 
@@ -46,7 +49,14 @@ impl CombinedChannel {
     pub fn new(config: ChannelConfig, mobility: Mobility, mut rng: Xoshiro256StarStar) -> Self {
         let short = ShortTermFading::new(mobility.coherence_time(), &mut rng);
         let long = LongTermShadowing::new(config.shadowing, &mut rng);
-        CombinedChannel { config, mobility, short, long, rng, now: SimTime::ZERO }
+        CombinedChannel {
+            config,
+            mobility,
+            short,
+            long,
+            rng,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The channel configuration.
@@ -67,7 +77,11 @@ impl CombinedChannel {
     /// Advances the channel to `t`.  Panics if `t` is in the past: fading
     /// processes cannot be rewound.
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.now, "channel cannot be advanced backwards (now {}, asked {t})", self.now);
+        assert!(
+            t >= self.now,
+            "channel cannot be advanced backwards (now {}, asked {t})",
+            self.now
+        );
         let dt = t.duration_since(self.now);
         if dt.is_zero() {
             return;
@@ -162,7 +176,7 @@ mod tests {
         let mut sum = 0.0;
         let mut t = SimTime::ZERO;
         for _ in 0..n {
-            t = t + SimDuration::from_millis(25);
+            t += SimDuration::from_millis(25);
             sum += ch.snr_db_at(t);
         }
         let mean = sum / n as f64;
@@ -185,7 +199,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         let (mut sa, mut sb, mut sab, mut saa, mut sbb) = (0.0, 0.0, 0.0, 0.0, 0.0);
         for _ in 0..n {
-            t = t + SimDuration::from_millis(25);
+            t += SimDuration::from_millis(25);
             let x = a.snr_db_at(t);
             let y = b.snr_db_at(t);
             sa += x;
@@ -196,7 +210,8 @@ mod tests {
         }
         let nf = n as f64;
         let cov = sab / nf - (sa / nf) * (sb / nf);
-        let corr = cov / (((saa / nf) - (sa / nf).powi(2)).sqrt() * ((sbb / nf) - (sb / nf).powi(2)).sqrt());
+        let corr = cov
+            / (((saa / nf) - (sa / nf).powi(2)).sqrt() * ((sbb / nf) - (sb / nf).powi(2)).sqrt());
         assert!(corr.abs() < 0.05, "cross-terminal SNR correlation {corr}");
     }
 
@@ -210,7 +225,7 @@ mod tests {
             let mut acc = 0.0;
             let n = 20_000;
             for _ in 0..n {
-                t = t + SimDuration::from_micros(2_500);
+                t += SimDuration::from_micros(2_500);
                 let cur = ch.snr_db_at(t);
                 acc += (cur - prev).abs();
                 prev = cur;
@@ -219,7 +234,10 @@ mod tests {
         };
         let slow = avg_abs_delta(10.0, 5);
         let fast = avg_abs_delta(80.0, 5);
-        assert!(fast > 1.5 * slow, "fast {fast} dB vs slow {slow} dB per frame");
+        assert!(
+            fast > 1.5 * slow,
+            "fast {fast} dB vs slow {slow} dB per frame"
+        );
     }
 
     #[test]
@@ -241,7 +259,7 @@ mod tests {
         let mut ch = channel(11, 80.0);
         let mut t = SimTime::ZERO;
         for _ in 0..50_000 {
-            t = t + SimDuration::from_micros(2_500);
+            t += SimDuration::from_micros(2_500);
             ch.advance_to(t);
             let g = ch.gain_db();
             assert!(g.is_finite());

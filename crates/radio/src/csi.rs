@@ -44,7 +44,10 @@ pub struct CsiEstimatorConfig {
 
 impl Default for CsiEstimatorConfig {
     fn default() -> Self {
-        CsiEstimatorConfig { error_std_db: 0.5, validity: SimDuration::from_micros(5_000) }
+        CsiEstimatorConfig {
+            error_std_db: 0.5,
+            validity: SimDuration::from_micros(5_000),
+        }
     }
 }
 
@@ -58,7 +61,10 @@ pub struct CsiEstimator {
 impl CsiEstimator {
     /// Creates an estimator with its own noise stream.
     pub fn new(config: CsiEstimatorConfig, rng: Xoshiro256StarStar) -> Self {
-        assert!(config.error_std_db >= 0.0, "estimation error std must be non-negative");
+        assert!(
+            config.error_std_db >= 0.0,
+            "estimation error std must be non-negative"
+        );
         CsiEstimator { config, rng }
     }
 
@@ -74,7 +80,10 @@ impl CsiEstimator {
         } else {
             0.0
         };
-        CsiEstimate { snr_db: true_snr_db + noise, estimated_at: now }
+        CsiEstimate {
+            snr_db: true_snr_db + noise,
+            estimated_at: now,
+        }
     }
 
     /// Whether an estimate taken at `estimated_at` is still fresh at `now`
@@ -92,7 +101,10 @@ mod tests {
     fn estimator(error_std_db: f64) -> CsiEstimator {
         let streams = RngStreams::new(42);
         CsiEstimator::new(
-            CsiEstimatorConfig { error_std_db, validity: SimDuration::from_micros(5_000) },
+            CsiEstimatorConfig {
+                error_std_db,
+                validity: SimDuration::from_micros(5_000),
+            },
             streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, 0)),
         )
     }
@@ -125,7 +137,10 @@ mod tests {
     #[test]
     fn freshness_window_is_inclusive() {
         let e = estimator(0.0);
-        let est = CsiEstimate { snr_db: 0.0, estimated_at: SimTime::from_micros(1_000) };
+        let est = CsiEstimate {
+            snr_db: 0.0,
+            estimated_at: SimTime::from_micros(1_000),
+        };
         assert!(e.is_fresh(&est, SimTime::from_micros(1_000)));
         assert!(e.is_fresh(&est, SimTime::from_micros(6_000))); // exactly 5 ms old
         assert!(!e.is_fresh(&est, SimTime::from_micros(6_001)));
@@ -135,7 +150,10 @@ mod tests {
     fn age_is_zero_for_future_estimates() {
         // An estimate "from the future" (possible only through misuse) reports
         // zero age rather than panicking, so MAC bookkeeping stays total.
-        let est = CsiEstimate { snr_db: 0.0, estimated_at: SimTime::from_micros(10) };
+        let est = CsiEstimate {
+            snr_db: 0.0,
+            estimated_at: SimTime::from_micros(10),
+        };
         assert_eq!(est.age(SimTime::ZERO), SimDuration::ZERO);
     }
 
@@ -144,7 +162,10 @@ mod tests {
     fn negative_error_std_rejected() {
         let streams = RngStreams::new(1);
         let _ = CsiEstimator::new(
-            CsiEstimatorConfig { error_std_db: -1.0, validity: SimDuration::from_micros(5_000) },
+            CsiEstimatorConfig {
+                error_std_db: -1.0,
+                validity: SimDuration::from_micros(5_000),
+            },
             streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, 0)),
         );
     }

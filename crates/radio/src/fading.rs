@@ -102,7 +102,10 @@ impl LongTermShadowing {
     /// stationary `N(mean_db, std_db²)` distribution.
     pub fn new(config: ShadowingConfig, rng: &mut Xoshiro256StarStar) -> Self {
         assert!(config.std_db >= 0.0, "shadowing std must be non-negative");
-        assert!(!config.correlation_time.is_zero(), "shadowing correlation time must be non-zero");
+        assert!(
+            !config.correlation_time.is_zero(),
+            "shadowing correlation time must be non-zero"
+        );
         LongTermShadowing {
             deviation_db: config.std_db * Sampler::standard_normal(rng),
             config,
@@ -177,7 +180,11 @@ mod tests {
             }
             let mean = xs.iter().sum::<f64>() / n as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-            let cov = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / (n - 1) as f64;
+            let cov = xs
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
             cov / var
         };
 
@@ -208,7 +215,11 @@ mod tests {
     #[test]
     fn shadowing_marginal_statistics_match_config() {
         let mut r = rng(5);
-        let cfg = ShadowingConfig { mean_db: -2.0, std_db: 6.0, correlation_time: SimDuration::from_secs(1) };
+        let cfg = ShadowingConfig {
+            mean_db: -2.0,
+            std_db: 6.0,
+            correlation_time: SimDuration::from_secs(1),
+        };
         let mut s = LongTermShadowing::new(cfg, &mut r);
         // Sample at lags of 10 s so draws are essentially independent.
         let n = 20_000;
@@ -241,7 +252,11 @@ mod tests {
     #[test]
     fn zero_std_shadowing_is_constant() {
         let mut r = rng(7);
-        let cfg = ShadowingConfig { mean_db: 3.0, std_db: 0.0, correlation_time: SimDuration::from_secs(1) };
+        let cfg = ShadowingConfig {
+            mean_db: 3.0,
+            std_db: 0.0,
+            correlation_time: SimDuration::from_secs(1),
+        };
         let mut s = LongTermShadowing::new(cfg, &mut r);
         for _ in 0..100 {
             assert_eq!(s.step(SimDuration::from_millis(100), &mut r), 3.0);

@@ -44,7 +44,10 @@ pub enum SpeedProfile {
 impl SpeedProfile {
     /// The paper's default population: mean 50 km/h, maximum 80 km/h.
     pub fn paper_default() -> Self {
-        SpeedProfile::Uniform { min_kmh: 20.0, max_kmh: 80.0 }
+        SpeedProfile::Uniform {
+            min_kmh: 20.0,
+            max_kmh: 80.0,
+        }
     }
 
     /// Draws a speed for one terminal.
@@ -92,7 +95,10 @@ impl Mobility {
 
     /// Creates the mobility state with an explicit carrier frequency.
     pub fn with_carrier(speed_kmh: f64, carrier_hz: f64) -> Self {
-        Mobility { speed_kmh, doppler_hz: doppler_hz(speed_kmh, carrier_hz) }
+        Mobility {
+            speed_kmh,
+            doppler_hz: doppler_hz(speed_kmh, carrier_hz),
+        }
     }
 
     /// Draws a terminal's mobility from a [`SpeedProfile`].
@@ -162,7 +168,10 @@ mod tests {
 
     #[test]
     fn uniform_profile_samples_in_range_with_correct_mean() {
-        let profile = SpeedProfile::Uniform { min_kmh: 20.0, max_kmh: 80.0 };
+        let profile = SpeedProfile::Uniform {
+            min_kmh: 20.0,
+            max_kmh: 80.0,
+        };
         let mut rng = Xoshiro256StarStar::from_seed_u64(11);
         let n = 20_000;
         let mut sum = 0.0;

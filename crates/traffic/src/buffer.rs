@@ -29,7 +29,9 @@ pub struct VoiceBuffer {
 impl VoiceBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        VoiceBuffer { queue: VecDeque::new() }
+        VoiceBuffer {
+            queue: VecDeque::new(),
+        }
     }
 
     /// Number of packets waiting.
@@ -101,7 +103,10 @@ pub struct DataBuffer {
 impl DataBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        DataBuffer { runs: VecDeque::new(), len: 0 }
+        DataBuffer {
+            runs: VecDeque::new(),
+            len: 0,
+        }
     }
 
     /// Number of packets waiting.
@@ -136,9 +141,14 @@ impl DataBuffer {
         let mut remaining = max_packets;
         let mut served = Vec::new();
         while remaining > 0 {
-            let Some(front) = self.runs.front_mut() else { break };
+            let Some(front) = self.runs.front_mut() else {
+                break;
+            };
             let take = front.count.min(remaining);
-            served.push(ServedRun { arrived_at: front.arrived_at, count: take });
+            served.push(ServedRun {
+                arrived_at: front.arrived_at,
+                count: take,
+            });
             front.count -= take;
             remaining -= take;
             self.len -= take as u64;
@@ -186,8 +196,14 @@ mod tests {
     #[test]
     fn voice_buffer_drops_only_expired_packets() {
         let mut b = VoiceBuffer::new();
-        b.push(VoicePacket { generated_at: t(0), deadline: t(20_000) });
-        b.push(VoicePacket { generated_at: t(20_000), deadline: t(40_000) });
+        b.push(VoicePacket {
+            generated_at: t(0),
+            deadline: t(20_000),
+        });
+        b.push(VoicePacket {
+            generated_at: t(20_000),
+            deadline: t(40_000),
+        });
         assert_eq!(b.len(), 2);
 
         assert_eq!(b.drop_expired(t(10_000)), 0);
@@ -199,8 +215,14 @@ mod tests {
     #[test]
     fn voice_buffer_is_fifo() {
         let mut b = VoiceBuffer::new();
-        b.push(VoicePacket { generated_at: t(0), deadline: t(20_000) });
-        b.push(VoicePacket { generated_at: t(20_000), deadline: t(40_000) });
+        b.push(VoicePacket {
+            generated_at: t(0),
+            deadline: t(20_000),
+        });
+        b.push(VoicePacket {
+            generated_at: t(20_000),
+            deadline: t(40_000),
+        });
         assert_eq!(b.pop().unwrap().generated_at, t(0));
         assert_eq!(b.peek().unwrap().generated_at, t(20_000));
         assert_eq!(b.pop().unwrap().generated_at, t(20_000));
@@ -216,15 +238,27 @@ mod tests {
         assert_eq!(b.len(), 150);
 
         let served = b.pop(30);
-        assert_eq!(served, vec![ServedRun { arrived_at: t(0), count: 30 }]);
+        assert_eq!(
+            served,
+            vec![ServedRun {
+                arrived_at: t(0),
+                count: 30
+            }]
+        );
         assert_eq!(b.len(), 120);
 
         let served = b.pop(100);
         assert_eq!(
             served,
             vec![
-                ServedRun { arrived_at: t(0), count: 70 },
-                ServedRun { arrived_at: t(2_500), count: 30 },
+                ServedRun {
+                    arrived_at: t(0),
+                    count: 70
+                },
+                ServedRun {
+                    arrived_at: t(2_500),
+                    count: 30
+                },
             ]
         );
         assert_eq!(b.len(), 20);
@@ -281,8 +315,20 @@ mod tests {
         b.push_front(t(1_000), 2);
         assert_eq!(b.head_arrival(), Some(t(1_000)));
         let served = b.pop(6);
-        assert_eq!(served[0], ServedRun { arrived_at: t(1_000), count: 2 });
-        assert_eq!(served[1], ServedRun { arrived_at: t(5_000), count: 4 });
+        assert_eq!(
+            served[0],
+            ServedRun {
+                arrived_at: t(1_000),
+                count: 2
+            }
+        );
+        assert_eq!(
+            served[1],
+            ServedRun {
+                arrived_at: t(5_000),
+                count: 4
+            }
+        );
         assert_eq!(b.len(), 0);
         b.push_front(t(2_000), 0);
         assert!(b.is_empty());
@@ -291,7 +337,10 @@ mod tests {
     #[test]
     fn voice_deadline_arithmetic_with_durations() {
         let gen = t(50_000);
-        let p = VoicePacket { generated_at: gen, deadline: gen + SimDuration::from_millis(20) };
+        let p = VoicePacket {
+            generated_at: gen,
+            deadline: gen + SimDuration::from_millis(20),
+        };
         assert_eq!(p.deadline, t(70_000));
     }
 }

@@ -54,9 +54,18 @@ impl DataSource {
     /// Creates a data source; the first burst is scheduled one full
     /// inter-arrival time into the run.
     pub fn new(config: DataSourceConfig, clock: FrameClock, mut rng: Xoshiro256StarStar) -> Self {
-        assert!(config.mean_burst_packets >= 1.0, "mean burst size must be at least one packet");
+        assert!(
+            config.mean_burst_packets >= 1.0,
+            "mean burst size must be at least one packet"
+        );
         let first = Self::draw_gap_frames(&config, &clock, &mut rng);
-        DataSource { config, clock, rng, next_burst_frame: first, next_frame: 0 }
+        DataSource {
+            config,
+            clock,
+            rng,
+            next_burst_frame: first,
+            next_frame: 0,
+        }
     }
 
     /// The source configuration.
@@ -117,7 +126,10 @@ mod tests {
     fn offered_load_matches_closed_form() {
         let cfg = DataSourceConfig::default();
         let load = cfg.offered_packets_per_frame(&FrameClock::paper_default());
-        assert!((load - 0.25).abs() < 1e-12, "offered load {load} packets/frame");
+        assert!(
+            (load - 0.25).abs() < 1e-12,
+            "offered load {load} packets/frame"
+        );
     }
 
     #[test]
@@ -129,7 +141,10 @@ mod tests {
             total += s.on_frame_start(k) as u64;
         }
         let per_frame = total as f64 / frames as f64;
-        assert!((per_frame - 0.25).abs() < 0.02, "measured {per_frame} packets/frame");
+        assert!(
+            (per_frame - 0.25).abs() < 0.02,
+            "measured {per_frame} packets/frame"
+        );
     }
 
     #[test]
@@ -185,7 +200,10 @@ mod tests {
     fn invalid_burst_mean_rejected() {
         let streams = RngStreams::new(6);
         let _ = DataSource::new(
-            DataSourceConfig { mean_burst_packets: 0.2, ..Default::default() },
+            DataSourceConfig {
+                mean_burst_packets: 0.2,
+                ..Default::default()
+            },
             FrameClock::paper_default(),
             streams.stream(StreamId::new(StreamId::DOMAIN_DATA, 0)),
         );

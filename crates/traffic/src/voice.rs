@@ -61,7 +61,10 @@ pub struct VoiceActivity {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     /// Talking until the stored frame index (exclusive).
-    Talkspurt { until_frame: u64, next_packet_frame: u64 },
+    Talkspurt {
+        until_frame: u64,
+        next_packet_frame: u64,
+    },
     /// Silent until the stored frame index (exclusive).
     Silence { until_frame: u64 },
 }
@@ -87,7 +90,10 @@ impl VoiceSource {
     /// not need a warm-up period just for voice activity to reach steady
     /// state.
     pub fn new(config: VoiceSourceConfig, clock: FrameClock, mut rng: Xoshiro256StarStar) -> Self {
-        assert!(!config.packet_period.is_zero(), "packet period must be non-zero");
+        assert!(
+            !config.packet_period.is_zero(),
+            "packet period must be non-zero"
+        );
         let frames_per_packet = clock.frames_per(config.packet_period);
         let start_talking = Sampler::bernoulli(&mut rng, config.activity_factor());
         let mut source = VoiceSource {
@@ -102,7 +108,10 @@ impl VoiceSource {
         // reported for terminals that begin mid-talkspurt.
         if start_talking {
             let until = source.draw_frames(config.mean_talkspurt).max(1);
-            source.state = State::Talkspurt { until_frame: until, next_packet_frame: 0 };
+            source.state = State::Talkspurt {
+                until_frame: until,
+                next_packet_frame: 0,
+            };
         } else {
             let until = source.draw_frames(config.mean_silence).max(1);
             source.state = State::Silence { until_frame: until };
@@ -142,7 +151,9 @@ impl VoiceSource {
         match self.state {
             State::Talkspurt { until_frame, .. } if frame_index >= until_frame => {
                 let silence_frames = self.draw_frames(self.config.mean_silence);
-                self.state = State::Silence { until_frame: frame_index + silence_frames };
+                self.state = State::Silence {
+                    until_frame: frame_index + silence_frames,
+                };
                 activity.talkspurt_ended = true;
             }
             State::Silence { until_frame } if frame_index >= until_frame => {
@@ -157,7 +168,11 @@ impl VoiceSource {
         }
 
         // Packet generation while talking.
-        if let State::Talkspurt { until_frame, next_packet_frame } = self.state {
+        if let State::Talkspurt {
+            until_frame,
+            next_packet_frame,
+        } = self.state
+        {
             if frame_index >= next_packet_frame {
                 activity.packet_generated = true;
                 self.state = State::Talkspurt {
@@ -210,7 +225,10 @@ mod tests {
         }
         let frac = talking_frames as f64 / total_frames as f64;
         let expected = VoiceSourceConfig::default().activity_factor();
-        assert!((frac - expected).abs() < 0.02, "talk fraction {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "talk fraction {frac} vs {expected}"
+        );
     }
 
     #[test]
@@ -227,7 +245,12 @@ mod tests {
         // Within a talkspurt consecutive packets are exactly 8 frames apart;
         // across talkspurts the gap is at least 8 frames.
         for w in packet_frames.windows(2) {
-            assert!(w[1] - w[0] >= 8, "packets too close: {} then {}", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= 8,
+                "packets too close: {} then {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -308,6 +331,9 @@ mod tests {
             .count();
         let frac = talking as f64 / 2_000.0;
         let expected = VoiceSourceConfig::default().activity_factor();
-        assert!((frac - expected).abs() < 0.05, "initial talk fraction {frac}");
+        assert!(
+            (frac - expected).abs() < 0.05,
+            "initial talk fraction {frac}"
+        );
     }
 }

@@ -23,7 +23,9 @@ fn main() {
 
     let data_counts: Vec<u32> = vec![2, 4, 6, 8, 10, 12, 16, 20];
 
-    println!("=== data service quality vs number of data users (Nv = {num_voice}, request queue on) ===");
+    println!(
+        "=== data service quality vs number of data users (Nv = {num_voice}, request queue on) ==="
+    );
     println!();
 
     for protocol in ProtocolKind::ALL {
@@ -50,7 +52,10 @@ fn main() {
         // still gets its full 0.25 packets/frame offered load.
         match capacity_at_threshold(&delay_curve, 1.0) {
             Some(cap) => println!("  QoS capacity (delay <= 1 s): {cap:.1} data users"),
-            None => println!("  QoS capacity (delay <= 1 s): below {} data users", data_counts[0]),
+            None => println!(
+                "  QoS capacity (delay <= 1 s): below {} data users",
+                data_counts[0]
+            ),
         }
         println!();
     }

@@ -38,8 +38,10 @@ fn main() {
             }
             let points = voice_load_sweep(&base, protocol, &voice_counts, 0, queue);
             let results = run_sweep(points, 0);
-            let curve: Vec<(f64, f64)> =
-                results.iter().map(|r| (r.load, r.report.voice_loss_rate())).collect();
+            let curve: Vec<(f64, f64)> = results
+                .iter()
+                .map(|r| (r.load, r.report.voice_loss_rate()))
+                .collect();
 
             print!("{:<12}", protocol.label());
             for (_, loss) in &curve {

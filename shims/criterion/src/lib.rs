@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of criterion's API the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop.  It reports median / mean / p95 per
+//! benchmark on stdout instead of criterion's HTML + statistics machinery.
+//!
+//! Like real criterion, the harness understands `--test` (run every
+//! benchmark body exactly once, for CI smoke coverage) and treats any other
+//! positional argument as a substring filter on benchmark names.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a benchmark executable was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default under `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (`--test`, used by `cargo test`).
+    Test,
+}
+
+/// Timing loop handed to benchmark closures (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Collected per-iteration durations, in nanoseconds.
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.mode == Mode::Test {
+            black_box(body());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost so that each sample
+        // aggregates enough iterations to dominate timer overhead.
+        let warmup_started = Instant::now();
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2)
+                || warmup_started.elapsed() > Duration::from_millis(500)
+            {
+                let per_iter = elapsed.as_nanos().max(1) as u64 / iters_per_sample.max(1);
+                iters_per_sample = (2_000_000 / per_iter.max(1)).max(1);
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            self.recorded
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level harness (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                // Flags cargo/criterion commonly pass through; ignore them.
+                "--bench" | "--verbose" | "-v" | "--quiet" | "-q" | "--noplot" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+            sample_size,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            samples,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {name} ... ok"),
+            Mode::Measure => {
+                let mut xs = bencher.recorded;
+                if xs.is_empty() {
+                    println!("{name:<50} (no samples)");
+                    return;
+                }
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+                let median = xs[xs.len() / 2];
+                let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+                let p95 = xs[(xs.len() * 95 / 100).min(xs.len() - 1)];
+                println!(
+                    "{name:<50} median {} | mean {} | p95 {}",
+                    fmt_ns(median),
+                    fmt_ns(mean),
+                    fmt_ns(p95)
+                );
+            }
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size;
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size;
+        self.criterion.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (mirrors criterion's explicit `finish`).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark executable's `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The workspace's generators are implemented locally (`charisma_des::rng`)
+//! and only *expose* themselves through `rand`'s core traits so that the
+//! wider `rand` ecosystem remains usable once the real crate can be vendored.
+//! This shim therefore defines exactly the 0.8-compatible trait surface the
+//! codebase touches: [`RngCore`], [`SeedableRng`] and [`Error`].
+
+use std::fmt;
+
+/// Error type matching `rand::Error` (0.8): an opaque wrapper used by the
+/// fallible `try_fill_bytes` path.  The local generators are infallible, so
+/// this is never constructed in practice.
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync + 'static>,
+}
+
+impl Error {
+    /// Wraps an arbitrary error, mirroring `rand::Error::new`.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync + 'static>>,
+    {
+        Error { inner: err.into() }
+    }
+
+    /// Returns a reference to the wrapped error.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error {{ inner: {:?} }}", self.inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.inner, f)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.inner.source()
+    }
+}
+
+/// The core random-number-generator trait, matching `rand::RngCore` (0.8).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        R::try_fill_bytes(self, dest)
+    }
+}
+
+/// Seedable generators, matching `rand::SeedableRng` (0.8).
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 as the
+    /// real `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step (public-domain, Steele/Lea/Flood).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Mirrors `rand::rngs` far enough for explicit paths.
+pub mod rngs {}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! exact subset of `serde`'s surface the workspace uses: the two trait names
+//! and the two derive macros.  The derives expand to nothing and the traits
+//! are blanket-implemented, which keeps every `#[derive(Serialize,
+//! Deserialize)]` and every `T: Serialize` bound compiling without pulling in
+//! a serialisation framework.  Swapping in the real `serde` later is a
+//! one-line change in the workspace manifest; no source file needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker matching `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker matching `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker matching `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize` paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for `use serde::de::Deserialize` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,23 @@
+//! No-op derive macros matching the names `serde` exports.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *minimal* surface of its external dependencies
+//! (see `shims/README.md`).  Serialisation is not on any hot path yet: the
+//! codebase only ever *derives* `Serialize`/`Deserialize` so that downstream
+//! consumers can persist configurations and reports.  Until a real `serde`
+//! can be vendored, the derives expand to nothing and the traits in the
+//! `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// Accepts (and discards) a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts (and discards) a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

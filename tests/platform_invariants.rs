@@ -2,9 +2,9 @@
 //! adaptive PHY → scheduling, plus contention statistics and slot accounting
 //! across protocols.
 
-use charisma::phy::{AdaptivePhy, Phy};
-use charisma::radio::{ChannelConfig, CombinedChannel, CsiEstimator, CsiEstimatorConfig, Mobility};
 use charisma::des::{RngStreams, SimDuration, SimTime, StreamId};
+use charisma::phy::AdaptivePhy;
+use charisma::radio::{ChannelConfig, CombinedChannel, CsiEstimator, CsiEstimatorConfig, Mobility};
 use charisma::{ProtocolKind, Scenario, SimConfig};
 
 #[test]
@@ -45,8 +45,14 @@ fn csi_estimates_track_the_true_channel_closely_within_their_validity_window() {
     }
     let agreement = agreements as f64 / total as f64;
     let miss = big_misses as f64 / total as f64;
-    assert!(agreement > 0.35, "2-frame-old CSI should often select the same mode, got {agreement}");
-    assert!(miss < 0.2, "2-frame-old CSI should rarely be off by 2+ modes, got {miss}");
+    assert!(
+        agreement > 0.35,
+        "2-frame-old CSI should often select the same mode, got {agreement}"
+    );
+    assert!(
+        miss < 0.2,
+        "2-frame-old CSI should rarely be off by 2+ modes, got {miss}"
+    );
 }
 
 #[test]
@@ -78,7 +84,10 @@ fn faster_terminals_make_stale_csi_less_reliable() {
     };
     let slow = disagreement(10.0);
     let fast = disagreement(80.0);
-    assert!(fast > slow, "mode churn at 80 km/h ({fast}) must exceed 10 km/h ({slow})");
+    assert!(
+        fast > slow,
+        "mode churn at 80 km/h ({fast}) must exceed 10 km/h ({slow})"
+    );
 }
 
 #[test]
@@ -103,7 +112,11 @@ fn contention_statistics_are_internally_consistent_for_every_protocol() {
         // Every protocol except RMAV should manage to acknowledge a healthy
         // number of requests at this moderate load.
         if p != ProtocolKind::Rmav {
-            assert!(c.successes > 50, "{p}: only {} successful requests", c.successes);
+            assert!(
+                c.successes > 50,
+                "{p}: only {} successful requests",
+                c.successes
+            );
         }
     }
 }
@@ -116,7 +129,11 @@ fn slot_utilisation_rises_with_load_for_the_fixed_rate_protocol() {
         cfg.num_data = 0;
         cfg.warmup_frames = 400;
         cfg.measured_frames = 3_000;
-        Scenario::new(cfg).run(ProtocolKind::DTdmaFr).metrics.slots.utilisation()
+        Scenario::new(cfg)
+            .run(ProtocolKind::DTdmaFr)
+            .metrics
+            .slots
+            .utilisation()
     };
     let light = run(10);
     let heavy = run(70);
@@ -124,7 +141,10 @@ fn slot_utilisation_rises_with_load_for_the_fixed_rate_protocol() {
         heavy > light + 0.2,
         "D-TDMA/FR slot utilisation should rise sharply with load (light {light}, heavy {heavy})"
     );
-    assert!(heavy > 0.8, "near capacity the information subframe should be nearly full ({heavy})");
+    assert!(
+        heavy > 0.8,
+        "near capacity the information subframe should be nearly full ({heavy})"
+    );
 }
 
 #[test]
@@ -137,8 +157,16 @@ fn charisma_wastes_less_airtime_than_the_blind_adaptive_baseline() {
     cfg.warmup_frames = 400;
     cfg.measured_frames = 4_000;
     let scenario = Scenario::new(cfg);
-    let charisma = scenario.run(ProtocolKind::Charisma).metrics.slots.waste_rate();
-    let vr = scenario.run(ProtocolKind::DTdmaVr).metrics.slots.waste_rate();
+    let charisma = scenario
+        .run(ProtocolKind::Charisma)
+        .metrics
+        .slots
+        .waste_rate();
+    let vr = scenario
+        .run(ProtocolKind::DTdmaVr)
+        .metrics
+        .slots
+        .waste_rate();
     assert!(
         charisma <= vr + 1e-3,
         "CHARISMA waste rate {charisma} should not exceed the CSI-blind baseline's {vr}"
@@ -157,8 +185,12 @@ fn voice_only_and_mixed_scenarios_preserve_voice_priority() {
     let mut mixed = voice_only.clone();
     mixed.num_data = 10;
 
-    let lone = Scenario::new(voice_only).run(ProtocolKind::Charisma).voice_loss_rate();
-    let with_data = Scenario::new(mixed).run(ProtocolKind::Charisma).voice_loss_rate();
+    let lone = Scenario::new(voice_only)
+        .run(ProtocolKind::Charisma)
+        .voice_loss_rate();
+    let with_data = Scenario::new(mixed)
+        .run(ProtocolKind::Charisma)
+        .voice_loss_rate();
     assert!(
         with_data < lone + 0.01,
         "adding data users must not visibly degrade CHARISMA voice QoS (alone {lone}, mixed {with_data})"

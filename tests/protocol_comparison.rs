@@ -44,9 +44,18 @@ fn charisma_near_zero_loss_at_light_load_while_baselines_have_an_error_floor() {
     let scenario = Scenario::new(cfg);
     let charisma = scenario.run(ProtocolKind::Charisma).voice_loss_rate();
     let fr = scenario.run(ProtocolKind::DTdmaFr).voice_loss_rate();
-    assert!(charisma < 0.004, "CHARISMA light-load loss should be almost zero, got {charisma}");
-    assert!(fr > charisma, "the fixed-PHY baseline must show a visible error floor (fr={fr})");
-    assert!(fr < 0.01, "the baseline floor must still be below the 1% QoS threshold (fr={fr})");
+    assert!(
+        charisma < 0.004,
+        "CHARISMA light-load loss should be almost zero, got {charisma}"
+    );
+    assert!(
+        fr > charisma,
+        "the fixed-PHY baseline must show a visible error floor (fr={fr})"
+    );
+    assert!(
+        fr < 0.01,
+        "the baseline floor must still be below the 1% QoS threshold (fr={fr})"
+    );
 }
 
 #[test]
@@ -70,8 +79,14 @@ fn adaptive_phy_extends_capacity_beyond_the_fixed_rate_limit() {
     let scenario = Scenario::new(cfg);
     let charisma = scenario.run(ProtocolKind::Charisma).voice_loss_rate();
     let fr = scenario.run(ProtocolKind::DTdmaFr).voice_loss_rate();
-    assert!(charisma < 0.01, "CHARISMA at 100 voice users should stay below 1% loss, got {charisma}");
-    assert!(fr > 0.05, "D-TDMA/FR at 100 voice users should be far beyond capacity, got {fr}");
+    assert!(
+        charisma < 0.01,
+        "CHARISMA at 100 voice users should stay below 1% loss, got {charisma}"
+    );
+    assert!(
+        fr > 0.05,
+        "D-TDMA/FR at 100 voice users should be far beyond capacity, got {fr}"
+    );
 }
 
 #[test]
@@ -113,8 +128,12 @@ fn request_queue_never_hurts_charisma_and_helps_it_most() {
     let mut with = without.clone();
     with.request_queue = true;
 
-    let loss_without = Scenario::new(without).run(ProtocolKind::Charisma).voice_loss_rate();
-    let loss_with = Scenario::new(with).run(ProtocolKind::Charisma).voice_loss_rate();
+    let loss_without = Scenario::new(without)
+        .run(ProtocolKind::Charisma)
+        .voice_loss_rate();
+    let loss_with = Scenario::new(with)
+        .run(ProtocolKind::Charisma)
+        .voice_loss_rate();
     assert!(
         loss_with <= loss_without + 2e-3,
         "adding the request queue must not hurt CHARISMA (with={loss_with}, without={loss_without})"

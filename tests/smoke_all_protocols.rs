@@ -1,0 +1,78 @@
+//! Fast smoke test: every protocol the platform knows about completes a
+//! short mixed-traffic scenario and reports finite, in-range QoS metrics.
+//! This is the first test to fail when a new protocol variant wires up its
+//! metrics incorrectly, and it runs in well under a second per protocol.
+
+use charisma::{ProtocolKind, Scenario, SimConfig};
+
+fn smoke_config(request_queue: bool) -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = 15;
+    cfg.num_data = 2;
+    cfg.request_queue = request_queue;
+    cfg
+}
+
+#[test]
+fn every_protocol_completes_a_quick_scenario_with_sane_metrics() {
+    for &protocol in ProtocolKind::ALL.iter() {
+        for request_queue in [false, true] {
+            let report = Scenario::new(smoke_config(request_queue)).run(protocol);
+
+            assert_eq!(report.protocol, protocol);
+            assert_eq!(report.request_queue, request_queue);
+
+            let loss = report.voice_loss_rate();
+            assert!(
+                loss.is_finite() && (0.0..=1.0).contains(&loss),
+                "{protocol:?} queue={request_queue}: voice loss {loss} out of [0, 1]"
+            );
+
+            let delay = report.data_delay_secs();
+            assert!(
+                delay.is_finite() && delay >= 0.0,
+                "{protocol:?} queue={request_queue}: data delay {delay} negative or non-finite"
+            );
+
+            let throughput = report.data_throughput_per_frame();
+            assert!(
+                throughput.is_finite() && throughput >= 0.0,
+                "{protocol:?} queue={request_queue}: throughput {throughput} negative or non-finite"
+            );
+
+            let per_user = report.data_throughput_per_user();
+            assert!(
+                per_user.is_finite() && per_user >= 0.0,
+                "{protocol:?} queue={request_queue}: per-user throughput {per_user} out of range"
+            );
+
+            // The one-line summary used by examples and bench binaries must
+            // render without panicking.
+            assert!(report.summary().contains(protocol.label()));
+        }
+    }
+}
+
+#[test]
+fn voice_only_and_data_only_edge_scenarios_complete() {
+    for &protocol in ProtocolKind::ALL.iter() {
+        let mut voice_only = SimConfig::quick_test();
+        voice_only.num_voice = 10;
+        voice_only.num_data = 0;
+        let r = Scenario::new(voice_only).run(protocol);
+        assert_eq!(
+            r.data_throughput_per_frame(),
+            0.0,
+            "{protocol:?}: phantom data traffic"
+        );
+
+        let mut data_only = SimConfig::quick_test();
+        data_only.num_voice = 0;
+        data_only.num_data = 2;
+        let r = Scenario::new(data_only).run(protocol);
+        assert!(
+            r.voice_loss_rate().is_finite() && (0.0..=1.0).contains(&r.voice_loss_rate()),
+            "{protocol:?}: voice loss must stay in range with zero voice users"
+        );
+    }
+}
