@@ -14,6 +14,7 @@
 //! | `qos_capacity` | §5.2 (delay ≤ 1 s, 0.25 pkt/frame) QoS capacities |
 //! | `speed_sweep` | §5.3.3 mobile-speed sensitivity |
 //! | `ablation_csi` | §5.3.1/5.3.2 ablation: CHARISMA without CSI awareness |
+//! | `bench_frame_loop` | frame-loop throughput trajectory (`results/BENCH_frame_loop.json`) |
 //!
 //! Each binary prints an aligned text table (the "rows/series the paper
 //! reports") and writes a CSV under `results/` for plotting.  Set
@@ -86,6 +87,20 @@ pub fn output_dir() -> PathBuf {
         eprintln!("warning: could not create {dir:?}: {e}");
     }
     dir.to_path_buf()
+}
+
+/// Writes an arbitrary text artifact (e.g. a JSON report) under
+/// [`output_dir`]; returns the path written.
+///
+/// Unlike [`write_csv`] (whose CSVs are redundant with the printed tables),
+/// this propagates write failures: callers persisting a record that CI
+/// uploads must fail loudly rather than let a stale checked-in file
+/// masquerade as the run's output.
+pub fn write_output(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let path = output_dir().join(name);
+    fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(path)
 }
 
 /// Writes a CSV file under [`output_dir`]; returns the path written.

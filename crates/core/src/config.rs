@@ -11,7 +11,7 @@
 
 use charisma_des::{FrameClock, SimDuration};
 use charisma_phy::{AdaptivePhyConfig, FixedPhyConfig};
-use charisma_radio::{ChannelConfig, CsiEstimatorConfig, SpeedProfile};
+use charisma_radio::{ChannelConfig, ChannelMode, CsiEstimatorConfig, SpeedProfile};
 use charisma_traffic::{DataSourceConfig, VoiceSourceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -231,6 +231,11 @@ pub struct SimConfig {
     pub contention: ContentionConfig,
     /// Radio channel model (mean SNR, shadowing).
     pub channel: ChannelConfig,
+    /// How terminal channels are advanced along the frame grid.  Lazy (the
+    /// default) coalesces idle frames into one fading step and caches the
+    /// per-frame SNR; eager reproduces the pre-optimisation per-frame
+    /// stepping and exists for benchmarking and statistical regression tests.
+    pub channel_mode: ChannelMode,
     /// Terminal speed population.
     pub speed: SpeedProfile,
     /// Adaptive (ABICM) PHY parameters — used by CHARISMA and D-TDMA/VR.
@@ -270,6 +275,7 @@ impl SimConfig {
             data_source: DataSourceConfig::default(),
             contention: ContentionConfig::default(),
             channel: ChannelConfig::default(),
+            channel_mode: ChannelMode::default(),
             speed: SpeedProfile::paper_default(),
             adaptive_phy: AdaptivePhyConfig::default(),
             fixed_phy: FixedPhyConfig::default(),

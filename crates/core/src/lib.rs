@@ -51,7 +51,7 @@ pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
 pub use scenario::{RunReport, Scenario};
 pub use sweep::{data_load_sweep, run_sweep, voice_load_sweep, SweepPoint, SweepResult};
 pub use terminal::{FrameTraffic, Terminal};
-pub use world::{DataTx, FrameWorld, LinkAdaptation, VoiceTx};
+pub use world::{DataTx, FrameScratch, FrameWorld, LinkAdaptation, VoiceTx};
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use charisma_des as des;

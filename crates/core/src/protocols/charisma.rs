@@ -55,6 +55,14 @@ pub struct Charisma {
     /// Last CSI estimate obtained for each terminal (from request pilots,
     /// CSI polling, or earlier frames).
     last_csi: HashMap<TerminalId, CsiEstimate>,
+    /// Reusable per-frame buffers (cleared every frame; no cross-frame
+    /// state).  Keeping them on the protocol keeps the frame loop
+    /// allocation-free.
+    exclude: HashSet<TerminalId>,
+    contenders: Vec<TerminalId>,
+    winners: Vec<TerminalId>,
+    order: Vec<(usize, f64)>,
+    served: Vec<bool>,
 }
 
 impl Charisma {
@@ -68,6 +76,11 @@ impl Charisma {
             reservations: HashSet::new(),
             backlog: Vec::new(),
             last_csi: HashMap::new(),
+            exclude: HashSet::new(),
+            contenders: Vec::new(),
+            winners: Vec::new(),
+            order: Vec::new(),
+            served: Vec::new(),
         }
     }
 
@@ -179,10 +192,17 @@ impl UplinkMac for Charisma {
         }
 
         // 2. Contention for new requests (new talkspurts and data bursts).
-        let exclude: HashSet<TerminalId> = self.backlog.iter().map(|e| e.terminal).collect();
-        let contenders = common::contenders(world, &self.reservations, &exclude);
-        let winners = world.contend(fs.request_slots, &contenders);
-        for id in winners {
+        self.exclude.clear();
+        self.exclude.extend(self.backlog.iter().map(|e| e.terminal));
+        common::contenders_into(
+            world,
+            &self.reservations,
+            &self.exclude,
+            &mut self.contenders,
+        );
+        let mut winners = std::mem::take(&mut self.winners);
+        world.contend_into(fs.request_slots, &self.contenders, &mut winners);
+        for &id in &winners {
             // The request packet carries pilot symbols: the base station
             // estimates this terminal's CSI as part of receiving the request.
             let est = world.estimate_csi(id);
@@ -194,6 +214,7 @@ impl UplinkMac for Charisma {
                 acked_frame: world.frame,
             });
         }
+        self.winners = winners;
 
         // 3. CSI refresh for stale entries via the poll-for-CSI subframe.
         self.refresh_csi(world, fs.pilot_slots);
@@ -207,17 +228,21 @@ impl UplinkMac for Charisma {
         }
 
         // --- Priority allocation ------------------------------------------
-        let mut order: Vec<(usize, f64)> = self
-            .backlog
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i, self.priority(world, e)))
-            .collect();
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend(
+            self.backlog
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, self.priority(world, e))),
+        );
         order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut served = std::mem::take(&mut self.served);
+        served.clear();
+        served.resize(self.backlog.len(), false);
 
         let mut remaining = fs.info_slots as f64;
-        let mut served: HashSet<usize> = HashSet::new();
-        for (idx, _prio) in order {
+        for &(idx, _prio) in &order {
             if remaining <= 1e-9 {
                 break;
             }
@@ -231,7 +256,7 @@ impl UplinkMac for Charisma {
             match entry.class {
                 TerminalClass::Voice => {
                     if world.terminal(entry.terminal).voice_backlog() == 0 {
-                        served.insert(idx);
+                        served[idx] = true;
                         continue;
                     }
                     // Airtime needed for one packet at the announced mode,
@@ -248,7 +273,7 @@ impl UplinkMac for Charisma {
                         VoiceTx::Delivered | VoiceTx::Errored => {
                             remaining -= slots;
                             self.reservations.insert(entry.terminal);
-                            served.insert(idx);
+                            served[idx] = true;
                         }
                         VoiceTx::InsufficientCapacity => {
                             // The estimate promised capacity the true channel
@@ -256,10 +281,10 @@ impl UplinkMac for Charisma {
                             world.record_wasted_slots(slots);
                             remaining -= slots;
                             self.reservations.insert(entry.terminal);
-                            served.insert(idx);
+                            served[idx] = true;
                         }
                         VoiceTx::NoPacket => {
-                            served.insert(idx);
+                            served[idx] = true;
                         }
                     }
                 }
@@ -270,7 +295,7 @@ impl UplinkMac for Charisma {
                         .min(self.params.max_data_packets_per_grant as u64)
                         as u32;
                     if backlog_pkts == 0 {
-                        served.insert(idx);
+                        served[idx] = true;
                         continue;
                     }
                     let slots = remaining.min(backlog_pkts as f64 / capacity);
@@ -287,16 +312,15 @@ impl UplinkMac for Charisma {
                     remaining -= slots;
                     // A data request is good for one allocation only: the
                     // terminal must request again for the rest of its burst.
-                    served.insert(idx);
+                    served[idx] = true;
                 }
             }
         }
 
         // --- Queue maintenance ---------------------------------------------
-        let mut kept = 0usize;
         let mut i = 0usize;
         self.backlog.retain(|_| {
-            let keep = !served.contains(&i);
+            let keep = !served[i];
             i += 1;
             keep
         });
@@ -305,11 +329,11 @@ impl UplinkMac for Charisma {
             if self.backlog.len() > self.queue_capacity {
                 self.backlog.truncate(self.queue_capacity);
             }
-            kept = self.backlog.len();
         } else {
             self.backlog.clear();
         }
-        let _ = kept;
+        self.order = order;
+        self.served = served;
     }
 }
 

@@ -65,19 +65,35 @@ pub fn contenders(
     reservations: &HashSet<TerminalId>,
     exclude: &HashSet<TerminalId>,
 ) -> Vec<TerminalId> {
-    world
-        .terminal_ids()
-        .filter(|id| {
-            if exclude.contains(id) {
-                return false;
-            }
-            let t = world.terminal(*id);
-            match t.class() {
-                TerminalClass::Voice => !reservations.contains(id) && t.voice_backlog() > 0,
-                TerminalClass::Data => t.data_backlog() > 0,
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    contenders_into(world, reservations, exclude, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`contenders`]: clears `out` and fills it with
+/// the contending terminal ids, reusing its capacity.  Protocols call this
+/// with a buffer they keep across frames so the request phase never
+/// allocates.
+pub fn contenders_into(
+    world: &FrameWorld<'_>,
+    reservations: &HashSet<TerminalId>,
+    exclude: &HashSet<TerminalId>,
+    out: &mut Vec<TerminalId>,
+) {
+    out.clear();
+    for id in world.terminal_ids() {
+        if exclude.contains(&id) {
+            continue;
+        }
+        let t = world.terminal(id);
+        let contending = match t.class() {
+            TerminalClass::Voice => !reservations.contains(&id) && t.voice_backlog() > 0,
+            TerminalClass::Data => t.data_backlog() > 0,
+        };
+        if contending {
+            out.push(id);
+        }
+    }
 }
 
 /// The base-station request queue of Section 4.5: acknowledged requests that

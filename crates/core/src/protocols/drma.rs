@@ -26,6 +26,10 @@ use charisma_traffic::{TerminalClass, TerminalId};
 pub struct Drma {
     reservations: HashSet<TerminalId>,
     queue: RequestQueue,
+    /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
+    exclude: HashSet<TerminalId>,
+    pool: Vec<TerminalId>,
+    winners: Vec<TerminalId>,
 }
 
 impl Drma {
@@ -34,6 +38,9 @@ impl Drma {
         Drma {
             reservations: HashSet::new(),
             queue: RequestQueue::from_config(config),
+            exclude: HashSet::new(),
+            pool: Vec::new(),
+            winners: Vec::new(),
         }
     }
 
@@ -78,9 +85,11 @@ impl UplinkMac for Drma {
         }
 
         // Terminals that may contend when an unassigned slot is converted.
-        let mut exclude: HashSet<TerminalId> = queued.iter().copied().collect();
-        exclude.extend(pending.iter().copied());
-        let mut pool: Vec<TerminalId> = common::contenders(world, &self.reservations, &exclude);
+        self.exclude.clear();
+        self.exclude.extend(queued.iter().copied());
+        self.exclude.extend(pending.iter().copied());
+        common::contenders_into(world, &self.reservations, &self.exclude, &mut self.pool);
+        let mut pool = std::mem::take(&mut self.pool);
 
         // Walk the N_k information slots of the frame.
         for _slot in 0..fs.drma_info_slots {
@@ -118,13 +127,15 @@ impl UplinkMac for Drma {
                 if pool.is_empty() {
                     continue;
                 }
-                let winners = world.contend(fs.drma_minislots, &pool);
-                if !winners.is_empty() {
+                world.contend_into(fs.drma_minislots, &pool, &mut self.winners);
+                if !self.winners.is_empty() {
+                    let winners = &self.winners;
                     pool.retain(|id| !winners.contains(id));
-                    pending.extend(winners);
+                    pending.extend(winners.iter().copied());
                 }
             }
         }
+        self.pool = pool;
 
         // Winners acknowledged late in the frame that found no free slot are
         // queued (if the queue is enabled) or forgotten.

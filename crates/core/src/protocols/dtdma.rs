@@ -29,6 +29,10 @@ pub struct DTdma {
     adaptive: bool,
     reservations: HashSet<TerminalId>,
     queue: RequestQueue,
+    /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
+    exclude: HashSet<TerminalId>,
+    contenders: Vec<TerminalId>,
+    winners: Vec<TerminalId>,
 }
 
 impl DTdma {
@@ -38,6 +42,9 @@ impl DTdma {
             adaptive: false,
             reservations: HashSet::new(),
             queue: RequestQueue::from_config(config),
+            exclude: HashSet::new(),
+            contenders: Vec::new(),
+            winners: Vec::new(),
         }
     }
 
@@ -47,6 +54,9 @@ impl DTdma {
             adaptive: true,
             reservations: HashSet::new(),
             queue: RequestQueue::from_config(config),
+            exclude: HashSet::new(),
+            contenders: Vec::new(),
+            winners: Vec::new(),
         }
     }
 
@@ -160,10 +170,16 @@ impl UplinkMac for DTdma {
         service.extend(queued.iter().copied());
         self.queue.clear();
 
-        let exclude: HashSet<TerminalId> = queued.iter().copied().collect();
-        let contenders = common::contenders(world, &self.reservations, &exclude);
-        let winners = world.contend(fs.request_slots, &contenders);
-        service.extend(winners);
+        self.exclude.clear();
+        self.exclude.extend(queued.iter().copied());
+        common::contenders_into(
+            world,
+            &self.reservations,
+            &self.exclude,
+            &mut self.contenders,
+        );
+        world.contend_into(fs.request_slots, &self.contenders, &mut self.winners);
+        service.extend(self.winners.iter().copied());
 
         if world.measuring {
             let qlen = self.queue.len() + queued.len();

@@ -28,6 +28,9 @@ use charisma_traffic::{TerminalClass, TerminalId};
 pub struct Rama {
     reservations: HashSet<TerminalId>,
     queue: RequestQueue,
+    /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
+    exclude: HashSet<TerminalId>,
+    contenders: Vec<TerminalId>,
 }
 
 impl Rama {
@@ -36,6 +39,8 @@ impl Rama {
         Rama {
             reservations: HashSet::new(),
             queue: RequestQueue::from_config(config),
+            exclude: HashSet::new(),
+            contenders: Vec::new(),
         }
     }
 
@@ -117,9 +122,15 @@ impl UplinkMac for Rama {
         service.extend(queued.iter().copied());
         self.queue.clear();
 
-        let exclude: HashSet<TerminalId> = queued.iter().copied().collect();
-        let contenders = common::contenders(world, &self.reservations, &exclude);
-        let winners = Self::auction(world, &contenders, fs.rama_auction_slots);
+        self.exclude.clear();
+        self.exclude.extend(queued.iter().copied());
+        common::contenders_into(
+            world,
+            &self.reservations,
+            &self.exclude,
+            &mut self.contenders,
+        );
+        let winners = Self::auction(world, &self.contenders, fs.rama_auction_slots);
         service.extend(winners);
 
         if world.measuring {

@@ -4,7 +4,7 @@
 use crate::config::SimConfig;
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::terminal::{FrameTraffic, Terminal};
-use crate::world::FrameWorld;
+use crate::world::{FrameScratch, FrameWorld};
 use charisma_des::{RngStreams, StreamId, Xoshiro256StarStar};
 use charisma_metrics::RunMetrics;
 use charisma_radio::CsiEstimator;
@@ -99,7 +99,12 @@ impl Scenario {
 
     /// Builds the terminal population: voice terminals first (ids
     /// `0..num_voice`), then data terminals.  Identical across protocols for
-    /// a given seed, which is the "common simulation platform" property.
+    /// a given seed — the "common simulation platform" property.  Traffic
+    /// sample paths (talkspurts, data bursts) are draw-for-draw identical
+    /// across protocols; under the default lazy channel evaluation the
+    /// fading paths are statistically equivalent but their realised draws
+    /// depend on when each protocol samples the SNR (use
+    /// `ChannelMode::Eager` for exact channel pairing).
     fn build_terminals(&self, streams: &RngStreams) -> Vec<Terminal> {
         let clock = self.config.clock();
         (0..self.config.num_voice + self.config.num_data)
@@ -116,6 +121,7 @@ impl Scenario {
                     self.config.voice_source,
                     self.config.data_source,
                     self.config.channel,
+                    self.config.channel_mode,
                     &self.config.speed,
                     streams,
                 )
@@ -144,6 +150,10 @@ impl Scenario {
             streams.stream(StreamId::new(StreamId::DOMAIN_PROTOCOL, u32::MAX));
 
         let mut traffic: Vec<FrameTraffic> = vec![FrameTraffic::default(); terminals.len()];
+        // One set of scratch buffers for the whole run: the per-frame hot
+        // paths (contention, transmission) recycle them instead of
+        // allocating.
+        let mut scratch = FrameScratch::default();
         let total = config.total_frames();
         // Deadline drops are attributed to the frame in which the deadline
         // expires, one voice-packet period after generation; start counting
@@ -180,6 +190,7 @@ impl Scenario {
                 &mut metrics,
                 &mut estimator,
                 &mut bs_rng,
+                &mut scratch,
             );
             mac.run_frame(&mut world);
 

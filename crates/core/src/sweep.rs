@@ -2,16 +2,16 @@
 //!
 //! Every point of a sweep (a protocol × load × queue-variant combination) is
 //! an independent simulation with its own deterministic random streams, so
-//! the sweep is embarrassingly parallel: points are distributed over a scoped
-//! worker pool (one worker per available core) and results are returned in
-//! the original point order regardless of completion order.
+//! the sweep is embarrassingly parallel: the result vector is pre-split into
+//! one exclusive `&mut` cell per point, the cells are dealt round-robin to a
+//! scoped worker pool (one worker per available core), and every worker
+//! writes straight into its own cells — no shared lock, no contention, and
+//! results land in the original point order by construction.
 
 use crate::config::SimConfig;
 use crate::protocols::ProtocolKind;
 use crate::scenario::{RunReport, Scenario};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One point of a sweep: a full scenario configuration plus the protocol to
 /// run on it.
@@ -62,35 +62,33 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
             .collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SweepResult>>> =
-        Mutex::new((0..points.len()).map(|_| None).collect());
-    let points_ref = &points;
-    let next_ref = &next;
-    let results_ref = &results;
+    // Pre-split the result vector: each point gets its own exclusive slot, so
+    // workers write results without ever touching a shared lock.  Cells are
+    // dealt round-robin, which also interleaves cheap and expensive points
+    // (sweeps typically order points by increasing load) across workers.
+    let mut results: Vec<Option<SweepResult>> = (0..points.len()).map(|_| None).collect();
+    let mut buckets: Vec<Vec<(&SweepPoint, &mut Option<SweepResult>)>> =
+        (0..worker_count).map(|_| Vec::new()).collect();
+    for (idx, (point, slot)) in points.iter().zip(results.iter_mut()).enumerate() {
+        buckets[idx % worker_count].push((point, slot));
+    }
 
     std::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(move || loop {
-                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                if idx >= points_ref.len() {
-                    break;
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (point, slot) in bucket {
+                    let report = Scenario::new(point.config.clone()).run(point.protocol);
+                    *slot = Some(SweepResult {
+                        load: point.load,
+                        protocol: point.protocol,
+                        report,
+                    });
                 }
-                let point = &points_ref[idx];
-                let report = Scenario::new(point.config.clone()).run(point.protocol);
-                let result = SweepResult {
-                    load: point.load,
-                    protocol: point.protocol,
-                    report,
-                };
-                results_ref.lock().expect("sweep result mutex poisoned")[idx] = Some(result);
             });
         }
     });
 
     results
-        .into_inner()
-        .expect("sweep result mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every sweep point must produce a result"))
         .collect()

@@ -10,7 +10,7 @@
 //! protocol under comparison.
 
 use charisma_des::{FrameClock, RngStreams, SimTime, StreamId, Xoshiro256StarStar};
-use charisma_radio::{ChannelConfig, CombinedChannel, Mobility, SpeedProfile};
+use charisma_radio::{ChannelConfig, ChannelMode, CombinedChannel, Mobility, SpeedProfile};
 use charisma_traffic::{
     buffer::VoicePacket, DataBuffer, DataSource, DataSourceConfig, TerminalClass, TerminalId,
     VoiceBuffer, VoiceSource, VoiceSourceConfig,
@@ -43,6 +43,12 @@ pub struct Terminal {
     data_source: Option<DataSource>,
     data_buffer: DataBuffer,
     channel: CombinedChannel,
+    /// How the channel is advanced along the frame grid (lazy by default).
+    channel_mode: ChannelMode,
+    /// The SNR sampled at a given instant, memoised so that every consumer of
+    /// one frame's channel state (capacity, error probability, CSI polling)
+    /// shares a single evaluation.
+    snr_cache: Option<(SimTime, f64)>,
     /// Randomness for permission-probability and slot-selection decisions.
     contention_rng: Xoshiro256StarStar,
     /// Randomness for packet-error draws of this terminal's transmissions.
@@ -61,6 +67,7 @@ impl Terminal {
         voice_cfg: VoiceSourceConfig,
         data_cfg: DataSourceConfig,
         channel_cfg: ChannelConfig,
+        channel_mode: ChannelMode,
         speed: &SpeedProfile,
         streams: &RngStreams,
     ) -> Self {
@@ -104,6 +111,8 @@ impl Terminal {
             data_source,
             data_buffer: DataBuffer::new(),
             channel,
+            channel_mode,
+            snr_cache: None,
             contention_rng: streams.stream(StreamId::new(StreamId::DOMAIN_CONTENTION, idx)),
             phy_rng: streams.stream(StreamId::new(StreamId::DOMAIN_PHY, idx)),
             in_talkspurt,
@@ -162,8 +171,27 @@ impl Terminal {
 
     /// The terminal's true instantaneous SNR at time `t` (advances the fading
     /// processes as needed).
+    ///
+    /// In [`ChannelMode::Lazy`] (the default) the value is memoised per
+    /// instant, so `FrameWorld::capacity`, the error-probability draw and CSI
+    /// polling all share one channel evaluation per terminal per frame, and
+    /// the channel itself is advanced in one coalesced step covering every
+    /// frame the terminal sat idle.  In [`ChannelMode::Eager`] the SNR is
+    /// recomputed on every call, reproducing the pre-optimisation cost.
     pub fn true_snr_db(&mut self, t: SimTime) -> f64 {
-        self.channel.snr_db_at(t)
+        match self.channel_mode {
+            ChannelMode::Lazy => {
+                if let Some((at, snr)) = self.snr_cache {
+                    if at == t {
+                        return snr;
+                    }
+                }
+                let snr = self.channel.snr_db_at(t);
+                self.snr_cache = Some((t, snr));
+                snr
+            }
+            ChannelMode::Eager => self.channel.snr_db_at(t),
+        }
     }
 
     /// The terminal's mobility (speed / Doppler) parameters.
@@ -186,7 +214,13 @@ impl Terminal {
     /// voice packets are dropped here (and reported), exactly once per frame.
     pub fn begin_frame(&mut self, frame_index: u64) -> FrameTraffic {
         let now = self.clock.frame_start(frame_index);
-        self.channel.advance_to(now);
+        // Lazy mode leaves the channel untouched here: it is advanced (with a
+        // coalesced dt) the first time this frame's SNR is sampled, so idle
+        // terminals skip channel work entirely.
+        if self.channel_mode == ChannelMode::Eager {
+            self.channel.advance_to_eager(now);
+            self.snr_cache = None;
+        }
 
         let mut out = FrameTraffic {
             // Deadline enforcement happens before new packets arrive so a packet
@@ -228,6 +262,10 @@ mod tests {
     use charisma_des::SimDuration;
 
     fn make(class: TerminalClass, seed: u64) -> Terminal {
+        make_mode(class, seed, ChannelMode::Lazy)
+    }
+
+    fn make_mode(class: TerminalClass, seed: u64, mode: ChannelMode) -> Terminal {
         let streams = RngStreams::new(seed);
         Terminal::new(
             TerminalId(0),
@@ -236,6 +274,7 @@ mod tests {
             VoiceSourceConfig::default(),
             DataSourceConfig::default(),
             ChannelConfig::default(),
+            mode,
             &SpeedProfile::Fixed(50.0),
             &streams,
         )
@@ -325,6 +364,50 @@ mod tests {
     }
 
     #[test]
+    fn snr_is_cached_within_an_instant_and_refreshed_across_frames() {
+        let mut t = make(TerminalClass::Voice, 11);
+        t.begin_frame(0);
+        let at = SimTime::ZERO;
+        let first = t.true_snr_db(at);
+        // Repeated queries at the same instant must return the exact same
+        // value without touching the channel RNG.
+        for _ in 0..5 {
+            assert_eq!(t.true_snr_db(at), first);
+        }
+        // A later frame re-samples the channel.
+        t.begin_frame(1);
+        let later = t.true_snr_db(SimTime::from_micros(2_500));
+        assert_ne!(later, first, "a new frame must refresh the cached SNR");
+        assert_eq!(t.true_snr_db(SimTime::from_micros(2_500)), later);
+    }
+
+    #[test]
+    fn eager_and_lazy_terminals_see_statistically_similar_channels() {
+        // The two modes draw different sample paths (documented one-time
+        // trajectory change) but must agree on the channel statistics.
+        let mean_snr = |mode: ChannelMode| -> f64 {
+            let mut t = make_mode(TerminalClass::Voice, 12, mode);
+            let mut acc = 0.0;
+            let n = 40_000u64;
+            for k in 0..n {
+                t.begin_frame(k);
+                // Sample only every 10th frame: in lazy mode the intervening
+                // frames are coalesced into one AR(1) step.
+                if k % 10 == 0 {
+                    acc += t.true_snr_db(SimTime::from_micros(k * 2_500));
+                }
+            }
+            acc / (n / 10) as f64
+        };
+        let eager = mean_snr(ChannelMode::Eager);
+        let lazy = mean_snr(ChannelMode::Lazy);
+        assert!(
+            (eager - lazy).abs() < 1.0,
+            "eager mean SNR {eager} dB vs lazy {lazy} dB"
+        );
+    }
+
+    #[test]
     fn different_terminal_ids_get_different_traffic() {
         let streams = RngStreams::new(7);
         let mk = |i: u32| {
@@ -335,6 +418,7 @@ mod tests {
                 VoiceSourceConfig::default(),
                 DataSourceConfig::default(),
                 ChannelConfig::default(),
+                ChannelMode::Lazy,
                 &SpeedProfile::Fixed(50.0),
                 &streams,
             )

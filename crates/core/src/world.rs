@@ -23,7 +23,26 @@ use charisma_des::{FrameClock, Sampler, SimTime, Xoshiro256StarStar};
 use charisma_metrics::RunMetrics;
 use charisma_phy::{AdaptivePhy, FixedPhy, Phy};
 use charisma_radio::{CsiEstimate, CsiEstimator};
-use charisma_traffic::{TerminalClass, TerminalId};
+use charisma_traffic::{buffer::ServedRun, TerminalClass, TerminalId};
+
+/// Reusable scratch buffers for the per-frame hot paths.
+///
+/// The scenario runner owns one instance for the whole run and threads it
+/// into each frame's [`FrameWorld`], so the request-contention loop and the
+/// transmission engine recycle the same heap blocks frame after frame instead
+/// of allocating fresh ones.  The buffers carry no semantic state across
+/// frames — every user clears them before use.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    /// Still-unacknowledged contenders during [`FrameWorld::contend`].
+    contend_remaining: Vec<TerminalId>,
+    /// Positions (into `contend_remaining`) transmitting in one minislot.
+    contend_transmitters: Vec<usize>,
+    /// Runs popped from a data buffer in [`FrameWorld::transmit_data`].
+    data_runs: Vec<ServedRun>,
+    /// Errored packets awaiting re-insertion in [`FrameWorld::transmit_data`].
+    data_requeue: Vec<(SimTime, u32)>,
+}
 
 /// How the physical layer picks its transmission mode for a grant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +108,7 @@ pub struct FrameWorld<'a> {
     adaptive_phy: AdaptivePhy,
     fixed_phy: FixedPhy,
     bs_rng: &'a mut Xoshiro256StarStar,
+    scratch: &'a mut FrameScratch,
 }
 
 impl<'a> FrameWorld<'a> {
@@ -104,6 +124,7 @@ impl<'a> FrameWorld<'a> {
         metrics: &'a mut RunMetrics,
         estimator: &'a mut CsiEstimator,
         bs_rng: &'a mut Xoshiro256StarStar,
+        scratch: &'a mut FrameScratch,
     ) -> Self {
         let clock = config.clock();
         debug_assert_eq!(traffic.len(), terminals.len());
@@ -120,6 +141,7 @@ impl<'a> FrameWorld<'a> {
             adaptive_phy: AdaptivePhy::new(config.adaptive_phy),
             fixed_phy: FixedPhy::new(config.fixed_phy),
             bs_rng,
+            scratch,
         }
     }
 
@@ -201,15 +223,36 @@ impl<'a> FrameWorld<'a> {
     /// effect), and the losers retry in the next minislot.
     pub fn contend(&mut self, n_slots: u32, eligible: &[TerminalId]) -> Vec<TerminalId> {
         let mut winners = Vec::new();
+        self.contend_into(n_slots, eligible, &mut winners);
+        winners
+    }
+
+    /// Allocation-free variant of [`Self::contend`]: clears `winners` and
+    /// fills it with the acknowledged terminals in acknowledgement order,
+    /// reusing its capacity.  The per-minislot bookkeeping lives in the
+    /// scenario-owned [`FrameScratch`], so a protocol that passes a reusable
+    /// buffer here runs the whole request phase without heap allocation.
+    pub fn contend_into(
+        &mut self,
+        n_slots: u32,
+        eligible: &[TerminalId],
+        winners: &mut Vec<TerminalId>,
+    ) {
+        winners.clear();
         if eligible.is_empty() || n_slots == 0 {
-            return winners;
+            return;
         }
-        let mut remaining: Vec<TerminalId> = eligible.to_vec();
+        // Detach the scratch buffers so the minislot loop can borrow
+        // terminals and metrics through `self`.
+        let mut remaining = std::mem::take(&mut self.scratch.contend_remaining);
+        let mut transmitters = std::mem::take(&mut self.scratch.contend_transmitters);
+        remaining.clear();
+        remaining.extend_from_slice(eligible);
         for _slot in 0..n_slots {
             if remaining.is_empty() {
                 break;
             }
-            let mut transmitters: Vec<usize> = Vec::new();
+            transmitters.clear();
             for (pos, &id) in remaining.iter().enumerate() {
                 let class = self.terminal(id).class();
                 let p = self.permission_probability(class);
@@ -237,7 +280,8 @@ impl<'a> FrameWorld<'a> {
                 }
             }
         }
-        winners
+        self.scratch.contend_remaining = remaining;
+        self.scratch.contend_transmitters = transmitters;
     }
 
     /// Produces a CSI estimate for a terminal from pilot symbols observed at
@@ -369,16 +413,23 @@ impl<'a> FrameWorld<'a> {
         let now = self.now;
         let measuring = self.measuring;
 
+        // Detach the scratch buffers so the draw loop can borrow the terminal
+        // and the metrics simultaneously.
+        let mut runs = std::mem::take(&mut self.scratch.data_runs);
+        let mut requeue = std::mem::take(&mut self.scratch.data_requeue);
+        requeue.clear();
+
         let terminal = &mut self.terminals[id.index() as usize];
-        let runs = terminal.data_buffer_mut().pop(budget);
+        terminal.data_buffer_mut().pop_into(budget, &mut runs);
         if runs.is_empty() {
+            self.scratch.data_runs = runs;
+            self.scratch.data_requeue = requeue;
             return DataTx::default();
         }
 
         let mut result = DataTx::default();
         // Packets that error are pushed back to the front, preserving their
         // original arrival time and FIFO position.
-        let mut requeue: Vec<(SimTime, u32)> = Vec::new();
         for run in &runs {
             for _ in 0..run.count {
                 let ok = Sampler::bernoulli(terminal.phy_rng(), 1.0 - per);
@@ -403,6 +454,8 @@ impl<'a> FrameWorld<'a> {
         for &(arrived, count) in requeue.iter().rev() {
             terminal.data_buffer_mut().push_front(arrived, count);
         }
+        self.scratch.data_runs = runs;
+        self.scratch.data_requeue = requeue;
 
         if measuring {
             self.metrics.slots.assigned += slots;
@@ -450,6 +503,7 @@ mod tests {
                     config.voice_source,
                     config.data_source,
                     config.channel,
+                    config.channel_mode,
                     &config.speed,
                     &streams,
                 )
@@ -473,6 +527,7 @@ mod tests {
             charisma_des::StreamId::DOMAIN_PROTOCOL,
             u32::MAX,
         ));
+        let mut scratch = FrameScratch::default();
         let world = FrameWorld::new(
             setup_frames,
             &config,
@@ -482,6 +537,7 @@ mod tests {
             &mut metrics,
             &mut estimator,
             &mut bs_rng,
+            &mut scratch,
         );
         f(world)
     }
@@ -673,6 +729,51 @@ mod tests {
             let est = w.estimate_csi(TerminalId(0));
             assert_eq!(est.estimated_at, w.now);
             assert!(est.snr_db.is_finite());
+        });
+    }
+
+    #[test]
+    fn snr_dependent_quantities_share_one_channel_evaluation_per_frame() {
+        // Within one frame, capacity under the tracking PHY must be perfectly
+        // repeatable: every query goes through the terminal's per-frame SNR
+        // cache instead of re-sampling the channel.
+        with_world(1, 1, 4, |mut w| {
+            let id = TerminalId(0);
+            let c0 = w.capacity(id, LinkAdaptation::Tracking);
+            for _ in 0..4 {
+                assert_eq!(w.capacity(id, LinkAdaptation::Tracking), c0);
+            }
+            // The underlying SNR itself is also stable across repeated reads.
+            let now = w.now;
+            let snr = w.terminal_mut(id).true_snr_db(now);
+            assert_eq!(w.terminal_mut(id).true_snr_db(now), snr);
+            // And a transmission (capacity + error probability) does not
+            // perturb the cached value either.
+            let _ = w.transmit_data(TerminalId(1), 1.0, 1, LinkAdaptation::Tracking);
+            assert_eq!(w.terminal_mut(id).true_snr_db(now), snr);
+        });
+    }
+
+    #[test]
+    fn contend_into_reuses_the_caller_buffer() {
+        with_world(30, 0, 0, |mut w| {
+            let ids: Vec<TerminalId> = w.terminal_ids().collect();
+            let mut winners = Vec::new();
+            w.contend_into(3, &ids, &mut winners);
+            assert!(winners.len() <= 3);
+            // Once warmed up, repeated calls must not grow the buffer: the
+            // winner count is bounded by the slot count, so the capacity
+            // reached after the first call is reused, never re-allocated.
+            let warmed = winners.capacity();
+            for _ in 0..16 {
+                w.contend_into(3, &ids, &mut winners);
+                assert!(winners.len() <= 3);
+                assert_eq!(
+                    winners.capacity(),
+                    warmed,
+                    "contend_into must reuse the caller's buffer"
+                );
+            }
         });
     }
 

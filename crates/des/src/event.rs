@@ -6,7 +6,7 @@
 //! Determinism of the delivery order is what keeps multi-threaded parameter
 //! sweeps bit-for-bit reproducible.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -109,19 +109,50 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// The sequence number the next scheduled event will receive.  Sequence
+    /// numbers are allocated contiguously (a rejected `schedule` call does
+    /// not burn one), which keeps delivery order reproducible.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Schedules `event` at absolute time `time`.
     ///
     /// Panics if `time` is earlier than the current simulation time: a
-    /// discrete-event simulation must never schedule into its own past.
+    /// discrete-event simulation must never schedule into its own past.  The
+    /// check happens before any state changes and the sequence counter is
+    /// only advanced once the entry is in the heap, so a panicking call
+    /// leaves the calendar exactly as it found it (no burnt sequence
+    /// numbers).
     pub fn schedule(&mut self, time: SimTime, event: E) {
         assert!(
             time >= self.now,
             "attempted to schedule an event at {time} which is before the current time {}",
             self.now
         );
-        let seq = self.next_seq;
+        self.heap.push(EventEntry {
+            time,
+            seq: self.next_seq,
+            event,
+        });
         self.next_seq += 1;
-        self.heap.push(EventEntry { time, seq, event });
+    }
+
+    /// Schedules `event` at `delay` after the current simulation time — the
+    /// common "fire in d from now" idiom, so callers no longer compute
+    /// `queue.now() + delay` by hand.
+    ///
+    /// ```
+    /// use charisma_des::{EventQueue, SimDuration, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(SimTime::from_micros(100), "boundary");
+    /// q.pop();
+    /// q.schedule_after(SimDuration::from_micros(50), "follow-up");
+    /// assert_eq!(q.peek_time(), Some(SimTime::from_micros(150)));
+    /// ```
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
     }
 
     /// The activation time of the next event, if any, without removing it.
@@ -171,12 +202,48 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     enum Ev {
         A(u32),
         B(u32),
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_the_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_micros(10), Ev::A(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        q.pop();
+        q.schedule_after(SimDuration::from_micros(10), Ev::A(1));
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_micros(20), Ev::A(1))),
+            "delay must be measured from the advanced clock"
+        );
+    }
+
+    #[test]
+    fn rejected_schedule_burns_no_sequence_number() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Ev::A(0));
+        q.pop();
+        let before = q.next_sequence();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(SimTime::from_micros(5), Ev::A(1));
+        }))
+        .is_err();
+        assert!(panicked, "scheduling in the past must panic");
+        assert_eq!(
+            q.next_sequence(),
+            before,
+            "a rejected schedule call must leave the calendar untouched"
+        );
+        let t = SimTime::from_micros(10);
+        q.schedule(t, Ev::A(2));
+        q.schedule(t, Ev::A(3));
+        assert_eq!(q.pop(), Some((t, Ev::A(2))));
+        assert_eq!(q.pop(), Some((t, Ev::A(3))));
     }
 
     #[test]

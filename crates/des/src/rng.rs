@@ -8,10 +8,17 @@
 //! 1. **Reproducibility** — a scenario is fully determined by its seed, no
 //!    matter how many threads execute the sweep or in which order.
 //! 2. **Common random numbers across protocols** — because stream derivation
-//!    depends only on (seed, entity), the *same* fading and traffic sample
-//!    paths are presented to every protocol under comparison, which is the
-//!    variance-reduction technique implied by the paper's "common simulation
-//!    platform".
+//!    depends only on (seed, entity), the *same* traffic sample paths (the
+//!    exact talkspurt on/off pattern and data-burst arrivals) are presented
+//!    to every protocol under comparison, the variance-reduction technique
+//!    implied by the paper's "common simulation platform".  Fading streams
+//!    are likewise paired per terminal, but under the default lazy channel
+//!    evaluation the *realised* fading path also depends on when a protocol
+//!    samples each terminal's SNR (idle frames are coalesced into one draw),
+//!    so cross-protocol channel paths are statistically equivalent rather
+//!    than draw-for-draw identical; run with
+//!    `ChannelMode::Eager` to restore exact channel pairing when an
+//!    experiment needs it.
 //!
 //! The generator is `xoshiro256**`, implemented locally (public-domain
 //! algorithm by Blackman & Vigna) and exposed through the `rand` crate's

@@ -34,6 +34,29 @@ proptest! {
         }
     }
 
+    /// `schedule_after(d)` is exactly `schedule(now + d)`: both calendars
+    /// deliver the same (time, event) sequence for any interleaving of pops
+    /// and relative delays.
+    #[test]
+    fn schedule_after_matches_absolute_scheduling(delays in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let mut relative = EventQueue::new();
+        let mut absolute = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            let delay = SimDuration::from_micros(d);
+            relative.schedule_after(delay, i);
+            absolute.schedule(absolute.now() + delay, i);
+            // Pop every other iteration so the clocks actually advance and
+            // later delays are measured from a moving "now".
+            if i % 2 == 1 {
+                prop_assert_eq!(relative.pop(), absolute.pop());
+            }
+        }
+        while let Some(got) = relative.pop() {
+            prop_assert_eq!(Some(got), absolute.pop());
+        }
+        prop_assert!(absolute.is_empty());
+    }
+
     /// Frame decomposition is a bijection: frame_start(frame) + offset == t
     /// and the offset is always strictly less than the frame duration.
     #[test]

@@ -10,13 +10,65 @@
 //! Jakes-spectrum channel has an oscillating (Bessel) autocorrelation instead,
 //! but over the 2.5 ms frame both models agree that the channel is
 //! approximately constant, and over ≥ T_c both agree it has decorrelated.
+//!
+//! # Hot-path step coefficients and the coalescing invariant
+//!
+//! Advancing an AR(1) process by `dt` needs `ρ = exp(−dt/T)` and the
+//! innovation scale `σ·√(1 − ρ²)`.  The simulation steps every terminal's
+//! channel on a fixed 2.5 ms frame grid, so both processes memoise the
+//! coefficients of the most recent `dt` ([`ArStepCoefficients`]) and only pay
+//! the `exp`/`sqrt` when the step size actually changes.
+//!
+//! Because the AR(1) kernel is *exactly* multiplicative —
+//! `ρ(dt₁ + dt₂) = ρ(dt₁)·ρ(dt₂)` and the innovation variances compose to
+//! `σ²(1 − ρ(dt₁+dt₂)²)` — advancing a process by one coalesced step of
+//! `k` frames produces a state with exactly the same marginal distribution
+//! and autocorrelation as `k` single-frame steps.  This is the invariant that
+//! makes the simulator's *lazy* channel evaluation sound: an idle terminal's
+//! channel may skip frames entirely and be advanced in one jump the next
+//! time its SNR is sampled.  Only the *number of RNG draws* differs (one
+//! innovation per coalesced step instead of one per frame), so a lazy run is
+//! a different — equally valid — sample path of the same process.
+//! `tests::coalesced_steps_preserve_stationary_distribution_and_correlation`
+//! regression-tests the equivalence.
 
 use charisma_des::{Sampler, SimDuration, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 
+/// Memoised AR(1) step coefficients for one step size `dt`:
+/// `rho = exp(−dt/T)` and `innovation = σ·√(1 − ρ²)` (with `σ` the process's
+/// stationary standard deviation folded in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ArStepCoefficients {
+    dt: SimDuration,
+    rho: f64,
+    innovation: f64,
+}
+
+impl ArStepCoefficients {
+    /// A sentinel that matches no real step, forcing the first `step` call to
+    /// compute real coefficients (`dt == 0` short-circuits before lookup).
+    const UNSET: ArStepCoefficients = ArStepCoefficients {
+        dt: SimDuration::ZERO,
+        rho: 1.0,
+        innovation: 0.0,
+    };
+
+    /// Computes the coefficients for advancing by `dt` a process with
+    /// correlation time `tau` and stationary standard deviation `sigma`.
+    fn compute(dt: SimDuration, tau: SimDuration, sigma: f64) -> Self {
+        let rho = (-(dt.as_secs_f64() / tau.as_secs_f64())).exp();
+        ArStepCoefficients {
+            dt,
+            rho,
+            innovation: (1.0 - rho * rho).sqrt() * sigma,
+        }
+    }
+}
+
 /// Complex-Gaussian short-term fading process with Rayleigh envelope and
 /// `E[c_s²] = 1` (the paper's normalisation).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ShortTermFading {
     /// In-phase component, `N(0, 1/2)` at stationarity.
     x: f64,
@@ -24,6 +76,17 @@ pub struct ShortTermFading {
     y: f64,
     /// Coherence time controlling the AR(1) correlation.
     coherence: SimDuration,
+    /// Coefficients of the most recent step size (the hot path steps on the
+    /// fixed frame grid, so this almost always hits).
+    coeffs: ArStepCoefficients,
+}
+
+impl PartialEq for ShortTermFading {
+    /// Two processes are equal when their *state* is equal; the memoised step
+    /// coefficients are a cache, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.x == other.x && self.y == other.y && self.coherence == other.coherence
+    }
 }
 
 impl ShortTermFading {
@@ -36,6 +99,7 @@ impl ShortTermFading {
             x: sigma * Sampler::standard_normal(rng),
             y: sigma * Sampler::standard_normal(rng),
             coherence,
+            coeffs: ArStepCoefficients::UNSET,
         }
     }
 
@@ -44,15 +108,36 @@ impl ShortTermFading {
         self.coherence
     }
 
-    /// Advances the process by `dt` and returns the new envelope.
+    /// Advances the process by `dt` and returns the new envelope, reusing the
+    /// memoised `rho`/innovation coefficients while `dt` stays the same.
     pub fn step(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
         if dt.is_zero() {
             return self.envelope();
         }
-        let rho = (-(dt.as_secs_f64() / self.coherence.as_secs_f64())).exp();
-        let innovation = (1.0 - rho * rho).sqrt() * std::f64::consts::FRAC_1_SQRT_2;
+        if self.coeffs.dt != dt {
+            self.coeffs =
+                ArStepCoefficients::compute(dt, self.coherence, std::f64::consts::FRAC_1_SQRT_2);
+        }
+        let ArStepCoefficients {
+            rho, innovation, ..
+        } = self.coeffs;
         self.x = rho * self.x + innovation * Sampler::standard_normal(rng);
         self.y = rho * self.y + innovation * Sampler::standard_normal(rng);
+        self.envelope()
+    }
+
+    /// Advances the process by `dt`, recomputing the coefficients from
+    /// scratch.  Draws the exact same innovations as [`Self::step`]; it only
+    /// pays the pre-memoisation `exp`/`sqrt` cost every call.  Retained as
+    /// the reference implementation for the eager-baseline benchmark and the
+    /// cache-correctness tests.
+    pub fn step_uncached(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
+        if dt.is_zero() {
+            return self.envelope();
+        }
+        let c = ArStepCoefficients::compute(dt, self.coherence, std::f64::consts::FRAC_1_SQRT_2);
+        self.x = c.rho * self.x + c.innovation * Sampler::standard_normal(rng);
+        self.y = c.rho * self.y + c.innovation * Sampler::standard_normal(rng);
         self.envelope()
     }
 
@@ -90,11 +175,20 @@ impl Default for ShadowingConfig {
 
 /// Log-normal long-term shadowing (the "local mean"), evolved as an AR(1)
 /// process on its dB value so the marginal stays exactly log-normal.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LongTermShadowing {
     /// Current deviation from the mean, in dB.
     deviation_db: f64,
     config: ShadowingConfig,
+    /// Coefficients of the most recent step size (see [`ShortTermFading`]).
+    coeffs: ArStepCoefficients,
+}
+
+impl PartialEq for LongTermShadowing {
+    /// State-only equality; the memoised step coefficients are a cache.
+    fn eq(&self, other: &Self) -> bool {
+        self.deviation_db == other.deviation_db && self.config == other.config
+    }
 }
 
 impl LongTermShadowing {
@@ -109,6 +203,7 @@ impl LongTermShadowing {
         LongTermShadowing {
             deviation_db: config.std_db * Sampler::standard_normal(rng),
             config,
+            coeffs: ArStepCoefficients::UNSET,
         }
     }
 
@@ -117,12 +212,33 @@ impl LongTermShadowing {
         &self.config
     }
 
-    /// Advances the process by `dt` and returns the new local mean in dB.
+    /// Advances the process by `dt` and returns the new local mean in dB,
+    /// reusing the memoised `rho`/innovation coefficients while `dt` stays
+    /// the same.
     pub fn step(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
         if !dt.is_zero() && self.config.std_db > 0.0 {
-            let rho = (-(dt.as_secs_f64() / self.config.correlation_time.as_secs_f64())).exp();
-            self.deviation_db = rho * self.deviation_db
-                + (1.0 - rho * rho).sqrt() * self.config.std_db * Sampler::standard_normal(rng);
+            if self.coeffs.dt != dt {
+                self.coeffs = ArStepCoefficients::compute(
+                    dt,
+                    self.config.correlation_time,
+                    self.config.std_db,
+                );
+            }
+            self.deviation_db = self.coeffs.rho * self.deviation_db
+                + self.coeffs.innovation * Sampler::standard_normal(rng);
+        }
+        self.local_mean_db()
+    }
+
+    /// Advances the process by `dt`, recomputing the coefficients from
+    /// scratch (same draws as [`Self::step`]; see
+    /// [`ShortTermFading::step_uncached`]).
+    pub fn step_uncached(&mut self, dt: SimDuration, rng: &mut Xoshiro256StarStar) -> f64 {
+        if !dt.is_zero() && self.config.std_db > 0.0 {
+            let c =
+                ArStepCoefficients::compute(dt, self.config.correlation_time, self.config.std_db);
+            self.deviation_db =
+                c.rho * self.deviation_db + c.innovation * Sampler::standard_normal(rng);
         }
         self.local_mean_db()
     }
@@ -262,6 +378,139 @@ mod tests {
             assert_eq!(s.step(SimDuration::from_millis(100), &mut r), 3.0);
         }
         assert!((s.local_mean_linear() - 10f64.powf(3.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_and_uncached_steps_draw_identical_sample_paths() {
+        // The memoised-coefficient path must be bit-identical to the
+        // recompute-every-call path: same formula, same RNG draws.
+        let mut ra = rng(40);
+        let mut rb = rng(40);
+        let mut a = ShortTermFading::new(SimDuration::from_millis(10), &mut ra);
+        let mut b = ShortTermFading::new(SimDuration::from_millis(10), &mut rb);
+        // Alternate step sizes so the cache is exercised through misses too.
+        let dts = [2_500u64, 2_500, 2_500, 20_000, 2_500, 5_000, 5_000, 2_500];
+        for &us in dts.iter().cycle().take(10_000) {
+            let dt = SimDuration::from_micros(us);
+            assert_eq!(a.step(dt, &mut ra), b.step_uncached(dt, &mut rb));
+        }
+        assert_eq!(a, b);
+
+        let mut ra = rng(41);
+        let mut rb = rng(41);
+        let mut a = LongTermShadowing::new(ShadowingConfig::default(), &mut ra);
+        let mut b = LongTermShadowing::new(ShadowingConfig::default(), &mut rb);
+        for &us in dts.iter().cycle().take(10_000) {
+            let dt = SimDuration::from_micros(us);
+            assert_eq!(a.step(dt, &mut ra), b.step_uncached(dt, &mut rb));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalesced_steps_preserve_stationary_distribution_and_correlation() {
+        // Lazy channel evaluation advances an idle terminal's process in one
+        // coalesced jump of k frames instead of k single-frame steps.  For an
+        // AR(1) process the two are distributionally identical: sampling the
+        // power every k frames must show the same mean and the same lag-one
+        // autocorrelation (= rho^(2k) for the squared complex-Gaussian)
+        // whether the process was stepped eagerly or coalesced.
+        let tc = SimDuration::from_millis(10);
+        let frame = SimDuration::from_micros(2_500);
+        let n = 60_000;
+
+        // (mean power, lag-1 autocorrelation of power) of samples taken every
+        // `k` frames, with the process advanced in `step_frames`-frame jumps.
+        let stats = |k: u64, step_frames: u64, seed: u64| -> (f64, f64) {
+            assert_eq!(k % step_frames, 0);
+            let mut r = rng(seed);
+            let mut f = ShortTermFading::new(tc, &mut r);
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                for _ in 0..k / step_frames {
+                    f.step(frame * step_frames, &mut r);
+                }
+                xs.push(f.power());
+            }
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let cov = xs
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            (mean, cov / var)
+        };
+
+        for k in [4u64, 8] {
+            let (mean_eager, corr_eager) = stats(k, 1, 50 + k);
+            let (mean_lazy, corr_lazy) = stats(k, k, 60 + k);
+            let rho = (-(frame.as_secs_f64() * k as f64) / tc.as_secs_f64()).exp();
+            let theory = rho * rho;
+            assert!(
+                (mean_eager - 1.0).abs() < 0.05,
+                "k={k} eager mean {mean_eager}"
+            );
+            assert!(
+                (mean_lazy - 1.0).abs() < 0.05,
+                "k={k} lazy mean {mean_lazy}"
+            );
+            assert!(
+                (corr_eager - theory).abs() < 0.05,
+                "k={k} eager corr {corr_eager} vs theory {theory}"
+            );
+            assert!(
+                (corr_lazy - theory).abs() < 0.05,
+                "k={k} lazy corr {corr_lazy} vs theory {theory}"
+            );
+            assert!(
+                (corr_eager - corr_lazy).abs() < 0.05,
+                "k={k} eager corr {corr_eager} vs lazy corr {corr_lazy}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesced_shadowing_matches_eager_statistics() {
+        // Same equivalence for the dB-domain AR(1) shadowing process, where
+        // the autocorrelation of the value itself is rho^k.
+        let cfg = ShadowingConfig::default();
+        let frame = SimDuration::from_micros(2_500);
+        let k = 400u64; // 1 s of frames: one coalesced jump per correlation time
+        let n = 30_000;
+        let stats = |step_frames: u64, seed: u64| -> (f64, f64, f64) {
+            let mut r = rng(seed);
+            let mut s = LongTermShadowing::new(cfg, &mut r);
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                for _ in 0..k / step_frames {
+                    s.step(frame * step_frames, &mut r);
+                }
+                xs.push(s.local_mean_db());
+            }
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let cov = xs
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            (mean, var.sqrt(), cov / var)
+        };
+        let (mean_e, std_e, corr_e) = stats(100, 70);
+        let (mean_l, std_l, corr_l) = stats(k, 71);
+        let theory = (-(frame.as_secs_f64() * k as f64) / cfg.correlation_time.as_secs_f64()).exp();
+        for (mean, std, corr, tag) in [
+            (mean_e, std_e, corr_e, "eager"),
+            (mean_l, std_l, corr_l, "lazy"),
+        ] {
+            assert!((mean - cfg.mean_db).abs() < 0.2, "{tag} mean {mean}");
+            assert!((std - cfg.std_db).abs() < 0.2, "{tag} std {std}");
+            assert!(
+                (corr - theory).abs() < 0.05,
+                "{tag} corr {corr} vs theory {theory}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,21 @@
 //! coherence time, which reproduces the two properties the MAC results depend
 //! on: the marginal distributions (Rayleigh / log-normal) and the temporal
 //! correlation relative to the 2.5 ms frame.
+//!
+//! # Lazy channel evaluation
+//!
+//! Channels are advanced *lazily*: a [`CombinedChannel`] is only stepped when
+//! its SNR is actually sampled, and the whole interval since the previous
+//! sample is coalesced into a single AR(1) step.  This is exact — not an
+//! approximation — because the AR(1) transition kernel composes
+//! multiplicatively (`ρ(dt₁+dt₂) = ρ(dt₁)·ρ(dt₂)`, innovation variances add
+//! accordingly), so a coalesced step and a chain of per-frame steps draw from
+//! the same conditional distribution; see [`fading`] for the full invariant
+//! and its regression tests.  The practical consequence: terminals that stay
+//! idle for a stretch of frames pay *zero* channel work for those frames,
+//! and the common fixed frame step reuses memoised `exp`/`sqrt` step
+//! coefficients.  [`ChannelMode`] selects between this lazy default and the
+//! eager pre-optimisation baseline retained for benchmarking.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,7 +46,7 @@ pub mod csi;
 pub mod fading;
 pub mod mobility;
 
-pub use channel::{ChannelConfig, CombinedChannel};
+pub use channel::{ChannelConfig, ChannelMode, CombinedChannel};
 pub use csi::{CsiEstimate, CsiEstimator, CsiEstimatorConfig};
 pub use fading::{LongTermShadowing, ShadowingConfig, ShortTermFading};
 pub use mobility::{doppler_hz, Mobility, SpeedProfile, CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT_M_S};

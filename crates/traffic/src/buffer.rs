@@ -138,8 +138,18 @@ impl DataBuffer {
     /// Removes up to `max_packets` packets in FIFO order and returns them
     /// grouped by arrival time.
     pub fn pop(&mut self, max_packets: u32) -> Vec<ServedRun> {
-        let mut remaining = max_packets;
         let mut served = Vec::new();
+        self.pop_into(max_packets, &mut served);
+        served
+    }
+
+    /// Allocation-free variant of [`Self::pop`]: clears `served` and fills it
+    /// with the removed runs, reusing its capacity.  This is what the
+    /// per-frame transmission engine calls with a scratch buffer so the hot
+    /// loop never allocates.
+    pub fn pop_into(&mut self, max_packets: u32, served: &mut Vec<ServedRun>) {
+        served.clear();
+        let mut remaining = max_packets;
         while remaining > 0 {
             let Some(front) = self.runs.front_mut() else {
                 break;
@@ -156,7 +166,6 @@ impl DataBuffer {
                 self.runs.pop_front();
             }
         }
-        served
     }
 
     /// Re-inserts `count` packets at the *front* of the queue with the given
