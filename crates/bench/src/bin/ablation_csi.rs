@@ -1,67 +1,15 @@
-//! §5.3.1 / §5.3.2 ablation — how much of CHARISMA's gain comes from the
-//! CSI-dependent scheduling (selection diversity) as opposed to simply using
-//! the variable-throughput PHY.
+//! §5.3.1/5.3.2 — CSI-aware vs CSI-blind scheduling ablation.
 //!
-//! Runs CHARISMA with its CSI term enabled (the real protocol) and disabled
-//! (pure earliest-deadline-first over the same adaptive PHY — effectively a
-//! smarter D-TDMA/VR), plus D-TDMA/VR itself, across a voice-load sweep.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run ablation_csi` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::metrics::capacity_at_threshold;
-use charisma::{run_sweep, voice_load_sweep, ProtocolKind};
-use charisma_bench::{base_config, fig11_voice_counts, write_csv, BenchProfile};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let voice_counts = fig11_voice_counts(profile);
-    let num_data = 10;
-    let mut csv_rows = Vec::new();
-
-    println!("Ablation — CSI-aware scheduling vs CSI-blind scheduling (Nd = {num_data}, queue on)");
-    println!(
-        "{:<26} {:>16} {:>18}",
-        "variant", "capacity @ 1%", "loss @ 120 users"
-    );
-
-    let variants: Vec<(&str, ProtocolKind, bool)> = vec![
-        ("CHARISMA (CSI-aware)", ProtocolKind::Charisma, true),
-        ("CHARISMA (CSI-blind/EDF)", ProtocolKind::Charisma, false),
-        ("D-TDMA/VR", ProtocolKind::DTdmaVr, true),
-    ];
-
-    for (label, protocol, csi_aware) in variants {
-        let mut cfg = base.clone();
-        cfg.charisma.csi_aware = csi_aware;
-        let points = voice_load_sweep(&cfg, protocol, &voice_counts, num_data, true);
-        let results = run_sweep(points, 0);
-        let curve: Vec<(f64, f64)> = results
-            .iter()
-            .map(|r| (r.load, r.report.voice_loss_rate()))
-            .collect();
-        let capacity = capacity_at_threshold(&curve, 0.01);
-        let at_120 = curve
-            .iter()
-            .min_by_key(|(load, _)| (load - 120.0).abs() as u64)
-            .map(|&(_, loss)| loss)
-            .unwrap_or(f64::NAN);
-
-        let cap_str = match capacity {
-            Some(c) => format!("{c:.0}"),
-            None => format!("<{}", voice_counts[0]),
-        };
-        println!("{label:<26} {cap_str:>16} {:>17.2}%", at_120 * 100.0);
-        for (load, loss) in &curve {
-            csv_rows.push(format!("{label},{load},{loss:.6}"));
-        }
+    if let Err(e) = registry::run_and_record(&["ablation_csi".to_string()], profile, 0) {
+        eprintln!("ablation_csi: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "ablation_csi.csv",
-        "variant,num_voice,voice_loss_rate",
-        &csv_rows,
-    );
-    println!();
-    println!("Expected: disabling the CSI term costs a sizeable share of CHARISMA's capacity");
-    println!("advantage, showing that the cross-layer scheduling (not just the adaptive PHY)");
-    println!("is what drives the gain — the argument of Sections 5.3.1–5.3.2.");
 }

@@ -1,183 +1,15 @@
-//! Frame-loop throughput benchmark: the perf trajectory every PR is measured
-//! against.
+//! Frame-loop throughput benchmark (the perf trajectory).
 //!
-//! Runs the reference scenario (60 voice + 10 data terminals, 20 000 frames)
-//! under CHARISMA and D-TDMA/VR, once with the eager pre-optimisation channel
-//! hot path ([`ChannelMode::Eager`]: every terminal's fading stepped every
-//! frame with per-step coefficient recomputation, SNR recomputed at every
-//! query) and once with the lazy default ([`ChannelMode::Lazy`]: coalesced
-//! on-demand stepping, memoised step coefficients, per-frame SNR cache), and
-//! reports wall-clock frames per second for each combination.
-//!
-//! Results are printed as a table and written to
-//! `results/BENCH_frame_loop.json` (schema `charisma.bench_frame_loop.v1`);
-//! the checked-in copy records the current machine's before/after numbers so
-//! regressions show up as a broken trajectory in review.  Set
-//! `CHARISMA_BENCH_PROFILE=quick` (as CI does) for a short smoke run.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run bench_frame_loop` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::radio::ChannelMode;
-use charisma::{ProtocolKind, Scenario, SimConfig};
-use charisma_bench::{write_output, BenchProfile};
-use std::time::Instant;
-
-/// One measured (protocol, channel mode) combination.
-struct Measurement {
-    protocol: ProtocolKind,
-    mode: ChannelMode,
-    reps: u32,
-    best_elapsed_secs: f64,
-    frames_per_second: f64,
-    voice_loss_rate: f64,
-}
-
-fn mode_label(mode: ChannelMode) -> &'static str {
-    match mode {
-        ChannelMode::Eager => "eager",
-        ChannelMode::Lazy => "lazy",
-    }
-}
-
-fn reference_config(profile: BenchProfile) -> SimConfig {
-    let mut cfg = SimConfig::default_paper();
-    cfg.num_voice = 60;
-    cfg.num_data = 10;
-    if profile == BenchProfile::Quick {
-        cfg.warmup_frames = 500;
-        cfg.measured_frames = 1_500;
-    } else {
-        cfg.warmup_frames = 2_000;
-        cfg.measured_frames = 18_000;
-    }
-    cfg
-}
-
-fn measure(base: &SimConfig, protocol: ProtocolKind, mode: ChannelMode, reps: u32) -> Measurement {
-    let mut cfg = base.clone();
-    cfg.channel_mode = mode;
-    let scenario = Scenario::new(cfg);
-    let total_frames = scenario.config().total_frames();
-    let mut best = f64::INFINITY;
-    let mut loss = 0.0;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let report = scenario.run(protocol);
-        let elapsed = start.elapsed().as_secs_f64();
-        best = best.min(elapsed);
-        loss = report.voice_loss_rate();
-    }
-    Measurement {
-        protocol,
-        mode,
-        reps,
-        best_elapsed_secs: best,
-        frames_per_second: total_frames as f64 / best,
-        voice_loss_rate: loss,
-    }
-}
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let config = reference_config(profile);
-    let reps = if profile == BenchProfile::Quick { 1 } else { 3 };
-    let protocols = [ProtocolKind::Charisma, ProtocolKind::DTdmaVr];
-    let profile_label = match profile {
-        BenchProfile::Quick => "quick",
-        BenchProfile::Standard => "standard",
-        BenchProfile::Full => "full",
-    };
-
-    println!(
-        "Frame-loop throughput: {} voice + {} data terminals, {} frames, best of {reps}",
-        config.num_voice,
-        config.num_data,
-        config.total_frames()
-    );
-    println!(
-        "{:<12}{:>8}{:>14}{:>16}{:>12}",
-        "protocol", "mode", "elapsed [s]", "frames/s", "Ploss"
-    );
-
-    let mut runs: Vec<Measurement> = Vec::new();
-    for protocol in protocols {
-        for mode in [ChannelMode::Eager, ChannelMode::Lazy] {
-            let m = measure(&config, protocol, mode, reps);
-            println!(
-                "{:<12}{:>8}{:>14.3}{:>16.0}{:>12.4}",
-                m.protocol.label(),
-                mode_label(m.mode),
-                m.best_elapsed_secs,
-                m.frames_per_second,
-                m.voice_loss_rate
-            );
-            runs.push(m);
-        }
+    if let Err(e) = registry::run_and_record(&["bench_frame_loop".to_string()], profile, 0) {
+        eprintln!("bench_frame_loop: {e}");
+        std::process::exit(1);
     }
-
-    let mut run_objects: Vec<String> = Vec::new();
-    for m in &runs {
-        run_objects.push(format!(
-            concat!(
-                "    {{\"protocol\": \"{}\", \"mode\": \"{}\", \"reps\": {}, ",
-                "\"best_elapsed_secs\": {:.6}, \"frames_per_second\": {:.1}, ",
-                "\"voice_loss_rate\": {:.6}}}"
-            ),
-            m.protocol.label(),
-            mode_label(m.mode),
-            m.reps,
-            m.best_elapsed_secs,
-            m.frames_per_second,
-            m.voice_loss_rate
-        ));
-    }
-
-    let mut speedups: Vec<String> = Vec::new();
-    println!();
-    for protocol in protocols {
-        let fps_of = |mode: ChannelMode| {
-            runs.iter()
-                .find(|m| m.protocol == protocol && m.mode == mode)
-                .map(|m| m.frames_per_second)
-                .unwrap_or(f64::NAN)
-        };
-        let eager = fps_of(ChannelMode::Eager);
-        let lazy = fps_of(ChannelMode::Lazy);
-        let speedup = lazy / eager;
-        println!("{:<12} lazy/eager speedup: {speedup:.2}x", protocol.label());
-        speedups.push(format!(
-            concat!(
-                "    {{\"protocol\": \"{}\", \"eager_fps\": {:.1}, ",
-                "\"lazy_fps\": {:.1}, \"lazy_over_eager\": {:.3}}}"
-            ),
-            protocol.label(),
-            eager,
-            lazy,
-            speedup
-        ));
-    }
-
-    let json = format!(
-        "{{\n\
-         \x20 \"schema\": \"charisma.bench_frame_loop.v1\",\n\
-         \x20 \"profile\": \"{profile_label}\",\n\
-         \x20 \"scenario\": {{\n\
-         \x20   \"num_voice\": {},\n\
-         \x20   \"num_data\": {},\n\
-         \x20   \"warmup_frames\": {},\n\
-         \x20   \"measured_frames\": {},\n\
-         \x20   \"total_frames\": {},\n\
-         \x20   \"seed\": {}\n\
-         \x20 }},\n\
-         \x20 \"runs\": [\n{}\n  ],\n\
-         \x20 \"speedup\": [\n{}\n  ]\n\
-         }}\n",
-        config.num_voice,
-        config.num_data,
-        config.warmup_frames,
-        config.measured_frames,
-        config.total_frames(),
-        config.seed,
-        run_objects.join(",\n"),
-        speedups.join(",\n"),
-    );
-    write_output("BENCH_frame_loop.json", &json).expect("failed to persist the benchmark record");
 }

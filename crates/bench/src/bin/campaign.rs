@@ -1,0 +1,228 @@
+//! The one CLI that drives every experiment: `campaign`.
+//!
+//! ```text
+//! campaign list                               # the registry, one line each
+//! campaign describe <name>                    # details + the exact spec JSON
+//! campaign run <name>... --profile quick      # run entries, write results/ + MANIFEST.json
+//! campaign run all --profile full             # regenerate every artifact
+//! campaign write-handbook                     # refresh EXPERIMENTS.md's generated section
+//! ```
+//!
+//! `run` accepts `--profile quick|standard|full` (default: the strict
+//! `CHARISMA_BENCH_PROFILE` parse, `standard` when unset), `--threads N`
+//! (default 0: one sweep worker per core) and `--write-handbook` to refresh
+//! the handbook after the run.  See `EXPERIMENTS.md` for the per-scenario
+//! documentation this binary maintains.
+
+use charisma_bench::registry::{self, EntryKind};
+use charisma_bench::BenchProfile;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: campaign <command> [options]
+
+commands:
+  list                        list every registered scenario
+  describe <name>             show a scenario's details and exact spec JSON
+  run <name>... | all         run scenarios (writes results/ + results/MANIFEST.json)
+  write-handbook              refresh the generated section of EXPERIMENTS.md
+
+run options:
+  --profile quick|standard|full   run length per sweep point
+                                  (default: CHARISMA_BENCH_PROFILE, else standard)
+  --threads N                     sweep worker threads (default 0 = one per core)
+  --write-handbook                also refresh EXPERIMENTS.md after the run";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "list" => list(),
+        "describe" => describe(&args[1..]),
+        "run" => run(&args[1..]),
+        "write-handbook" => write_handbook(),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("campaign: unknown command \"{other}\"\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn list() -> ExitCode {
+    let (name_h, kind_h, output_h, paper_h) = ("name", "kind", "output", "paper artifact");
+    println!("{name_h:<18} {kind_h:<10} {output_h:<34} {paper_h}");
+    for entry in registry::entries() {
+        let kind = match entry.kind {
+            EntryKind::Sweep { .. } => "campaign",
+            EntryKind::Custom { .. } => "bespoke",
+        };
+        println!(
+            "{:<18} {:<10} {:<34} {}",
+            entry.name,
+            kind,
+            format!("results/{}", entry.outputs[0]),
+            entry.paper
+        );
+    }
+    println!();
+    println!(
+        "run one with: campaign run <name> --profile quick   (details: campaign describe <name>)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn describe(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("campaign describe: missing scenario name\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(entry) = registry::find(name) else {
+        eprintln!(
+            "campaign describe: unknown scenario \"{name}\" — registered scenarios: {}",
+            registry::names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} — {}", entry.name, entry.title);
+    println!("paper artifact: {}", entry.paper);
+    println!();
+    println!("{}", entry.details);
+    println!();
+    println!(
+        "outputs: {}",
+        entry
+            .outputs
+            .iter()
+            .map(|f| format!("results/{f}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("columns: {}", entry.columns);
+    println!("runtime: {}", entry.runtime);
+    match entry.kind {
+        EntryKind::Sweep { build, .. } => {
+            let campaign = build(BenchProfile::Standard);
+            let budget = BenchProfile::Standard.budget();
+            let points = campaign.expand(budget).map(|p| p.len()).unwrap_or(0);
+            println!("sweep points (standard profile): {points}");
+            println!();
+            println!("spec (standard-profile grids):");
+            println!("{}", campaign.to_json());
+        }
+        EntryKind::Custom { .. } => {
+            println!("kind: bespoke generator (crates/bench/src/artifacts.rs)");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut profile: Option<BenchProfile> = None;
+    let mut threads = 0usize;
+    let mut refresh_handbook = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign run: --profile needs a value (quick|standard|full)");
+                    return ExitCode::from(2);
+                };
+                match BenchProfile::parse(value) {
+                    Ok(p) => profile = Some(p),
+                    Err(e) => {
+                        eprintln!("campaign run: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--threads" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign run: --threads needs a number");
+                    return ExitCode::from(2);
+                };
+                match value.parse::<usize>() {
+                    Ok(n) => threads = n,
+                    Err(_) => {
+                        eprintln!("campaign run: invalid thread count \"{value}\"");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--write-handbook" => {
+                refresh_handbook = true;
+                i += 1;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("campaign run: unknown option \"{flag}\"\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            name => {
+                names.push(name.to_string());
+                i += 1;
+            }
+        }
+    }
+    if names.is_empty() {
+        eprintln!("campaign run: no scenarios given (try \"all\" or `campaign list`)");
+        return ExitCode::from(2);
+    }
+    if names.iter().any(|n| n == "all") {
+        if names.len() > 1 {
+            eprintln!("campaign run: \"all\" cannot be combined with explicit names");
+            return ExitCode::from(2);
+        }
+        names = registry::names().iter().map(|s| s.to_string()).collect();
+    }
+    let profile = profile.unwrap_or_else(BenchProfile::from_env);
+    for name in &names {
+        if registry::find(name).is_none() {
+            eprintln!(
+                "campaign run: unknown scenario \"{name}\" — registered scenarios: {}",
+                registry::names().join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    match registry::run_and_record(&names, profile, threads) {
+        Ok(reports) => {
+            let points: usize = reports.iter().map(|r| r.points).sum();
+            println!(
+                "campaign: {} scenario(s), {} sweep points, profile {} — manifest in results/MANIFEST.json",
+                reports.len(),
+                points,
+                profile.label()
+            );
+            if refresh_handbook {
+                return write_handbook();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_handbook() -> ExitCode {
+    match registry::write_handbook(Path::new("EXPERIMENTS.md")) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign write-handbook: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,74 +1,15 @@
 //! §5.1 — voice capacities at the 1 % packet-loss threshold.
 //!
-//! Reproduces the capacity figures quoted in the prose of Section 5.1
-//! (e.g. "CHARISMA can accommodate approximately 100 voice users … while both
-//! DRMA and D-TDMA/VR can support only about 80 … RAMA and D-TDMA/FR about
-//! 60"), for N_d ∈ {0, 10, 20} data users, with and without the request
-//! queue.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run capacity_table` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::metrics::capacity_at_threshold;
-use charisma::{run_sweep, voice_load_sweep};
-use charisma_bench::{all_protocols, base_config, fig11_voice_counts, write_csv, BenchProfile};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let voice_counts = fig11_voice_counts(profile);
-    let mut csv_rows = Vec::new();
-
-    println!("Voice capacity at the 1% packet-loss threshold (number of voice users)");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
-        "protocol", "Nd=0", "Nd=0 +queue", "Nd=10", "Nd=10 +queue", "Nd=20", "Nd=20 +queue"
-    );
-
-    for protocol in all_protocols() {
-        let mut cells = Vec::new();
-        for &num_data in &[0u32, 10, 20] {
-            for &queue in &[false, true] {
-                if queue && !protocol.supports_request_queue() {
-                    cells.push("n/a".to_string());
-                    continue;
-                }
-                let points = voice_load_sweep(&base, protocol, &voice_counts, num_data, queue);
-                let results = run_sweep(points, 0);
-                let curve: Vec<(f64, f64)> = results
-                    .iter()
-                    .map(|r| (r.load, r.report.voice_loss_rate()))
-                    .collect();
-                let cell = match capacity_at_threshold(&curve, 0.01) {
-                    Some(c) => format!("{c:.0}"),
-                    None => format!("<{}", voice_counts[0]),
-                };
-                csv_rows.push(format!(
-                    "{},{},{},{}",
-                    protocol.label(),
-                    num_data,
-                    queue,
-                    cell
-                ));
-                cells.push(cell);
-            }
-        }
-        println!(
-            "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
-            protocol.label(),
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
-            cells[4],
-            cells[5]
-        );
+    if let Err(e) = registry::run_and_record(&["capacity_table".to_string()], profile, 0) {
+        eprintln!("capacity_table: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "capacity_1pct.csv",
-        "protocol,num_data,request_queue,capacity_voice_users",
-        &csv_rows,
-    );
-    println!();
-    println!("Paper reference points (§5.1): without queue, Nd=0 — CHARISMA ≈ 100, DRMA ≈ 80,");
-    println!("D-TDMA/VR ≈ 80, RAMA ≈ 60, D-TDMA/FR ≈ 60, RMAV unstable; with queue CHARISMA ≈ 160");
-    println!("and D-TDMA/VR gains ≈ 25% while RAMA/DRMA barely change.");
 }

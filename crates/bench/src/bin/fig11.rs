@@ -1,70 +1,15 @@
-//! Fig. 11(a)–(f) — voice packet dropping/loss rate versus the number of
-//! voice users, for N_d ∈ {0, 10, 20} data users, with and without the
-//! base-station request queue, for all six protocols.
+//! Fig. 11(a)–(f) — voice packet loss vs voice users.
 //!
-//! Also prints the §5.1 capacity at the 1 % loss threshold for each curve.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run fig11` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::metrics::capacity_at_threshold;
-use charisma::{run_sweep, voice_load_sweep};
-use charisma_bench::{
-    all_protocols, base_config, fig11_voice_counts, figure_panels, format_header, format_row,
-    write_csv, BenchProfile,
-};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let voice_counts = fig11_voice_counts(profile);
-    let mut csv_rows = Vec::new();
-
-    println!("Fig. 11 — voice packet loss rate vs number of voice users");
-    for (panel_idx, (num_data, queue, label)) in figure_panels().into_iter().enumerate() {
-        let panel = (b'a' + panel_idx as u8) as char;
-        println!();
-        println!("--- Fig. 11({panel}) Nd = {num_data}, {label} ---");
-        println!(
-            "{}{:>12}",
-            format_header("protocol", &voice_counts),
-            "cap@1%"
-        );
-
-        for protocol in all_protocols() {
-            if queue && !protocol.supports_request_queue() {
-                continue;
-            }
-            let points = voice_load_sweep(&base, protocol, &voice_counts, num_data, queue);
-            let results = run_sweep(points, 0);
-            let losses: Vec<f64> = results.iter().map(|r| r.report.voice_loss_rate()).collect();
-            let curve: Vec<(f64, f64)> = results
-                .iter()
-                .map(|r| (r.load, r.report.voice_loss_rate()))
-                .collect();
-            let capacity = capacity_at_threshold(&curve, 0.01);
-
-            let row = format_row(protocol.label(), &losses, |v| format!("{:.2}%", v * 100.0));
-            match capacity {
-                Some(c) => println!("{row}{c:>11.0}"),
-                None => println!("{row}{:>11}", format!("<{}", voice_counts[0])),
-            }
-            for r in &results {
-                csv_rows.push(format!(
-                    "11{panel},{},{},{},{},{:.6}",
-                    protocol.label(),
-                    num_data,
-                    queue,
-                    r.load,
-                    r.report.voice_loss_rate()
-                ));
-            }
-        }
+    if let Err(e) = registry::run_and_record(&["fig11".to_string()], profile, 0) {
+        eprintln!("fig11: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "fig11_voice_loss.csv",
-        "panel,protocol,num_data,request_queue,num_voice,voice_loss_rate",
-        &csv_rows,
-    );
-    println!();
-    println!("Expected shape: CHARISMA lowest everywhere; RMAV collapses immediately; RAMA and");
-    println!("DRMA degrade gracefully at overload; data users shrink every protocol's capacity.");
 }

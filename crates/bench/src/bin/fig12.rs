@@ -1,60 +1,15 @@
-//! Fig. 12(a)–(f) — average data throughput (packets per frame delivered at
-//! the base station) versus the number of data users, for N_v ∈ {0, 10, 20}
-//! voice users, with and without the request queue, for all six protocols.
+//! Fig. 12(a)–(f) — data throughput vs data users.
+//!
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run fig12` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::{data_load_sweep, run_sweep};
-use charisma_bench::{
-    all_protocols, base_config, fig12_data_counts, figure_panels, format_header, format_row,
-    write_csv, BenchProfile,
-};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let data_counts = fig12_data_counts(profile);
-    let mut csv_rows = Vec::new();
-
-    println!("Fig. 12 — data throughput (packets/frame) vs number of data users");
-    for (panel_idx, (num_voice, queue, label)) in figure_panels().into_iter().enumerate() {
-        let panel = (b'a' + panel_idx as u8) as char;
-        println!();
-        println!("--- Fig. 12({panel}) Nv = {num_voice}, {label} ---");
-        println!("{}", format_header("protocol", &data_counts));
-
-        for protocol in all_protocols() {
-            if queue && !protocol.supports_request_queue() {
-                continue;
-            }
-            let points = data_load_sweep(&base, protocol, &data_counts, num_voice, queue);
-            let results = run_sweep(points, 0);
-            let throughputs: Vec<f64> = results
-                .iter()
-                .map(|r| r.report.data_throughput_per_frame())
-                .collect();
-            println!(
-                "{}",
-                format_row(protocol.label(), &throughputs, |v| format!("{v:.3}"))
-            );
-            for r in &results {
-                csv_rows.push(format!(
-                    "12{panel},{},{},{},{},{:.6}",
-                    protocol.label(),
-                    num_voice,
-                    queue,
-                    r.load,
-                    r.report.data_throughput_per_frame()
-                ));
-            }
-        }
+    if let Err(e) = registry::run_and_record(&["fig12".to_string()], profile, 0) {
+        eprintln!("fig12: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "fig12_data_throughput.csv",
-        "panel,protocol,num_voice,request_queue,num_data,data_throughput_per_frame",
-        &csv_rows,
-    );
-    println!();
-    println!("Expected shape: throughput grows with offered load until each protocol's capacity,");
-    println!("then saturates; CHARISMA saturates highest, followed by D-TDMA/VR, then DRMA/RAMA,");
-    println!("then D-TDMA/FR; RMAV saturates almost immediately.");
 }

@@ -1,57 +1,15 @@
-//! Fig. 13(a)–(f) — average data access delay versus the number of data
-//! users, for N_v ∈ {0, 10, 20} voice users, with and without the request
-//! queue, for all six protocols.
+//! Fig. 13(a)–(f) — data access delay vs data users.
+//!
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run fig13` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::{data_load_sweep, run_sweep};
-use charisma_bench::{
-    all_protocols, base_config, fig12_data_counts, figure_panels, format_header, format_row,
-    write_csv, BenchProfile,
-};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let data_counts = fig12_data_counts(profile);
-    let mut csv_rows = Vec::new();
-
-    println!("Fig. 13 — mean data delay (seconds) vs number of data users");
-    for (panel_idx, (num_voice, queue, label)) in figure_panels().into_iter().enumerate() {
-        let panel = (b'a' + panel_idx as u8) as char;
-        println!();
-        println!("--- Fig. 13({panel}) Nv = {num_voice}, {label} ---");
-        println!("{}", format_header("protocol", &data_counts));
-
-        for protocol in all_protocols() {
-            if queue && !protocol.supports_request_queue() {
-                continue;
-            }
-            let points = data_load_sweep(&base, protocol, &data_counts, num_voice, queue);
-            let results = run_sweep(points, 0);
-            let delays: Vec<f64> = results.iter().map(|r| r.report.data_delay_secs()).collect();
-            println!(
-                "{}",
-                format_row(protocol.label(), &delays, |v| format!("{v:.3}"))
-            );
-            for r in &results {
-                csv_rows.push(format!(
-                    "13{panel},{},{},{},{},{:.6}",
-                    protocol.label(),
-                    num_voice,
-                    queue,
-                    r.load,
-                    r.report.data_delay_secs()
-                ));
-            }
-        }
+    if let Err(e) = registry::run_and_record(&["fig13".to_string()], profile, 0) {
+        eprintln!("fig13: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "fig13_data_delay.csv",
-        "panel,protocol,num_voice,request_queue,num_data,data_delay_s",
-        &csv_rows,
-    );
-    println!();
-    println!("Expected shape: delay stays small until each protocol's capacity and then grows");
-    println!("sharply; the knee appears latest for CHARISMA, then D-TDMA/VR, then DRMA/RAMA,");
-    println!("then D-TDMA/FR, and almost immediately for RMAV.");
 }

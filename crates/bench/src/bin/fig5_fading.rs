@@ -1,62 +1,15 @@
-//! Fig. 5 — a sample of the channel fading process: fast Rayleigh fading
-//! superimposed on long-term log-normal shadowing.
+//! Fig. 5 — sample of the combined fading process.
 //!
-//! Generates a 2-second trace for one terminal at 50 km/h, prints summary
-//! statistics and writes the full trace to `results/fig5_fading.csv`.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run fig5_fading` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::des::{RngStreams, SimDuration, StreamId};
-use charisma::radio::{ChannelConfig, CombinedChannel, Mobility};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
-    let streams = RngStreams::new(0xF165_BEEF);
-    let mut channel = CombinedChannel::new(
-        ChannelConfig::default(),
-        Mobility::new(50.0),
-        streams.stream(StreamId::new(StreamId::DOMAIN_CHANNEL, 0)),
-    );
-
-    // 2 seconds sampled every 0.5 ms: fast fading varies within ~10 ms while
-    // the shadowing component drifts over the whole trace.
-    let step = SimDuration::from_micros(500);
-    let samples = 4_000;
-    let rows = channel.trace(step, samples);
-
-    let mut csv = Vec::with_capacity(rows.len());
-    let mut min_snr = f64::INFINITY;
-    let mut max_snr = f64::NEG_INFINITY;
-    let mut deep_fade_samples = 0usize;
-    for &(t, short_db, long_db, snr_db) in &rows {
-        csv.push(format!(
-            "{:.6},{:.3},{:.3},{:.3}",
-            t.as_secs_f64(),
-            short_db,
-            long_db,
-            snr_db
-        ));
-        min_snr = min_snr.min(snr_db);
-        max_snr = max_snr.max(snr_db);
-        if short_db < -10.0 {
-            deep_fade_samples += 1;
-        }
+    let profile = BenchProfile::from_env();
+    if let Err(e) = registry::run_and_record(&["fig5_fading".to_string()], profile, 0) {
+        eprintln!("fig5_fading: {e}");
+        std::process::exit(1);
     }
-
-    println!("Fig. 5 — sample of combined channel fading (50 km/h, 2 s, 0.5 ms sampling)");
-    println!("samples:                  {}", rows.len());
-    println!(
-        "SNR range:                {:.1} dB … {:.1} dB",
-        min_snr, max_snr
-    );
-    println!(
-        "time in >10 dB fast fade: {:.1}%  (Rayleigh theory ≈ 9.5%)",
-        100.0 * deep_fade_samples as f64 / rows.len() as f64
-    );
-    println!(
-        "shadowing drift over trace: {:.1} dB",
-        (rows.last().unwrap().2 - rows[0].2).abs()
-    );
-    charisma_bench::write_csv(
-        "fig5_fading.csv",
-        "time_s,fast_fading_db,shadowing_db,snr_db",
-        &csv,
-    );
 }

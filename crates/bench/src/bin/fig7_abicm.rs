@@ -1,48 +1,15 @@
-//! Fig. 7 — instantaneous BER/packet-error behaviour and throughput of the
-//! 6-mode ABICM scheme as a function of the CSI.
+//! Fig. 7 — ABICM BER / throughput vs CSI.
 //!
-//! Sweeps the CSI from −20 dB to +35 dB and prints, for each value, the
-//! selected transmission mode, the normalised throughput (Fig. 7b) and the
-//! per-packet error probability (the packet-level counterpart of Fig. 7a's
-//! constant-BER behaviour inside the adaptation range).
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run fig7_abicm` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::phy::{AdaptivePhy, FixedPhy, Phy};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
-    let adaptive = AdaptivePhy::default();
-    let fixed = FixedPhy::default();
-
-    println!("Fig. 7 — ABICM throughput and error behaviour vs CSI");
-    println!(
-        "{:>8} {:>8} {:>22} {:>22} {:>18}",
-        "CSI(dB)", "mode", "normalised throughput", "adaptive packet error", "fixed packet error"
-    );
-
-    let mut rows = Vec::new();
-    let mut snr = -20.0f64;
-    while snr <= 35.0 + 1e-9 {
-        let mode = adaptive.mode_for(snr);
-        let tput = adaptive.packets_per_slot(snr);
-        let per = adaptive.packet_error_probability(snr);
-        let fper = fixed.packet_error_probability(snr);
-        println!(
-            "{snr:>8.1} {:>8} {tput:>22.1} {per:>22.2e} {fper:>18.2e}",
-            mode.index()
-        );
-        rows.push(format!(
-            "{snr:.1},{},{tput:.2},{per:.6},{fper:.6}",
-            mode.index()
-        ));
-        snr += 1.0;
+    let profile = BenchProfile::from_env();
+    if let Err(e) = registry::run_and_record(&["fig7_abicm".to_string()], profile, 0) {
+        eprintln!("fig7_abicm: {e}");
+        std::process::exit(1);
     }
-
-    println!();
-    println!("Inside the adaptation range the packet error probability is constant (the");
-    println!("constant-BER operating mode of Fig. 7a) while the throughput steps from 1/2 to 5");
-    println!("(Fig. 7b); below the range the scheme is in outage (mode 0).");
-    charisma_bench::write_csv(
-        "fig7_abicm.csv",
-        "csi_db,mode,normalised_throughput,adaptive_per,fixed_per",
-        &rows,
-    );
 }

@@ -1,91 +1,15 @@
-//! §5.2 — data QoS capacity at the (delay ≤ 1 s, per-user throughput ≥ 0.25
-//! packets/frame) operating point.
+//! §5.2 — data QoS capacities at (delay ≤ 1 s, 0.25 pkt/frame).
 //!
-//! The paper quotes: "at a QoS level of (1 sec, 0.25), the capacity of the
-//! CHARISMA protocol is approximately 1.5 times that of D-TDMA/VR and three
-//! times that of RAMA and DRMA."
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run qos_capacity` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::metrics::capacity_at_threshold;
-use charisma::{data_load_sweep, run_sweep, ProtocolKind};
-use charisma_bench::{all_protocols, base_config, fig12_data_counts, write_csv, BenchProfile};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let base = base_config(profile);
-    let data_counts = fig12_data_counts(profile);
-    let num_voice = 10;
-    let mut csv_rows = Vec::new();
-    let mut capacities: Vec<(ProtocolKind, Option<f64>)> = Vec::new();
-
-    println!("Data QoS capacity at (delay <= 1 s, per-user throughput >= 0.25 pkt/frame), Nv = {num_voice}");
-    println!(
-        "{:<12} {:>26} {:>26}",
-        "protocol", "capacity (no queue)", "capacity (with queue)"
-    );
-
-    for protocol in all_protocols() {
-        let mut cells = Vec::new();
-        for &queue in &[false, true] {
-            if queue && !protocol.supports_request_queue() {
-                cells.push("n/a".to_string());
-                continue;
-            }
-            let points = data_load_sweep(&base, protocol, &data_counts, num_voice, queue);
-            let results = run_sweep(points, 0);
-            // A point satisfies the QoS level when the mean delay is below 1 s
-            // AND the per-user throughput is still ~the offered 0.25 pkt/frame.
-            let curve: Vec<(f64, f64)> = results
-                .iter()
-                .map(|r| {
-                    let ok_throughput = r.report.data_throughput_per_user() >= 0.20;
-                    let effective_delay = if ok_throughput {
-                        r.report.data_delay_secs()
-                    } else {
-                        f64::MAX
-                    };
-                    (r.load, effective_delay)
-                })
-                .collect();
-            let capacity = capacity_at_threshold(&curve, 1.0);
-            if !queue {
-                capacities.push((protocol, capacity));
-            }
-            let cell = match capacity {
-                Some(c) => format!("{c:.1}"),
-                None => format!("<{}", data_counts[0]),
-            };
-            csv_rows.push(format!("{},{},{}", protocol.label(), queue, cell));
-            cells.push(cell);
-        }
-        println!("{:<12} {:>26} {:>26}", protocol.label(), cells[0], cells[1]);
+    if let Err(e) = registry::run_and_record(&["qos_capacity".to_string()], profile, 0) {
+        eprintln!("qos_capacity: {e}");
+        std::process::exit(1);
     }
-
-    // The headline ratios of §5.2.
-    let lookup = |k: ProtocolKind| {
-        capacities
-            .iter()
-            .find(|(p, _)| *p == k)
-            .and_then(|(_, c)| *c)
-    };
-    if let (Some(ch), Some(vr), Some(rama)) = (
-        lookup(ProtocolKind::Charisma),
-        lookup(ProtocolKind::DTdmaVr),
-        lookup(ProtocolKind::Rama),
-    ) {
-        println!();
-        println!(
-            "CHARISMA / D-TDMA/VR capacity ratio: {:.2} (paper ≈ 1.5)",
-            ch / vr
-        );
-        println!(
-            "CHARISMA / RAMA capacity ratio:      {:.2} (paper ≈ 3)",
-            ch / rama
-        );
-    }
-
-    write_csv(
-        "qos_capacity.csv",
-        "protocol,request_queue,qos_capacity_data_users",
-        &csv_rows,
-    );
 }

@@ -1,65 +1,15 @@
-//! §5.3.3 — sensitivity of CHARISMA to the terminal speed (10–80 km/h).
+//! §5.3.3 — CHARISMA sensitivity to terminal speed.
 //!
-//! The paper reports that CHARISMA's performance is unchanged from 10 to
-//! 50 km/h and degrades by less than ~5 % at 80 km/h, because the CSI-refresh
-//! mechanism keeps the estimates usable within a frame.
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run speed_sweep` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma::radio::SpeedProfile;
-use charisma::{ProtocolKind, Scenario};
-use charisma_bench::{base_config, write_csv, BenchProfile};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
     let profile = BenchProfile::from_env();
-    let mut base = base_config(profile);
-    base.num_voice = 120;
-    base.num_data = 5;
-    base.request_queue = true;
-
-    let speeds = [10.0, 20.0, 30.0, 40.0, 50.0, 65.0, 80.0];
-    let mut csv_rows = Vec::new();
-
-    println!(
-        "CHARISMA vs terminal speed (Nv = {}, Nd = {}, request queue on)",
-        base.num_voice, base.num_data
-    );
-    println!(
-        "{:>12} {:>14} {:>18} {:>14} {:>22}",
-        "speed (km/h)", "voice loss", "data thpt (p/f)", "data delay (s)", "rel. loss vs 10 km/h"
-    );
-
-    let mut reference: Option<f64> = None;
-    for &speed in &speeds {
-        let mut cfg = base.clone();
-        cfg.speed = SpeedProfile::Fixed(speed);
-        let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
-        let loss = report.voice_loss_rate();
-        let reference_loss = *reference.get_or_insert(loss);
-        let relative = if reference_loss > 0.0 {
-            loss / reference_loss
-        } else {
-            1.0
-        };
-        println!(
-            "{:>12.0} {:>13.3}% {:>18.3} {:>14.3} {:>21.2}x",
-            speed,
-            loss * 100.0,
-            report.data_throughput_per_frame(),
-            report.data_delay_secs(),
-            relative
-        );
-        csv_rows.push(format!(
-            "{speed},{:.6},{:.4},{:.4}",
-            loss,
-            report.data_throughput_per_frame(),
-            report.data_delay_secs()
-        ));
+    if let Err(e) = registry::run_and_record(&["speed_sweep".to_string()], profile, 0) {
+        eprintln!("speed_sweep: {e}");
+        std::process::exit(1);
     }
-
-    write_csv(
-        "speed_sweep.csv",
-        "speed_kmh,voice_loss_rate,data_throughput,data_delay_s",
-        &csv_rows,
-    );
-    println!();
-    println!("Expected: essentially flat up to 50 km/h, only mild degradation at 80 km/h.");
 }

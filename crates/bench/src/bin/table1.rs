@@ -1,142 +1,15 @@
 //! Table 1 — simulation parameters.
 //!
-//! Prints every parameter of the common simulation platform, in the spirit of
-//! the paper's Table 1, together with the values this reproduction derived
-//! from the constraints stated in the text (see DESIGN.md).
+//! Thin wrapper over the scenario-campaign registry: equivalent to
+//! `campaign run table1` (same tables, same `results/` artifacts, same
+//! `results/MANIFEST.json` provenance record).  See EXPERIMENTS.md.
 
-use charisma_bench::{base_config, BenchProfile};
+use charisma_bench::{registry, BenchProfile};
 
 fn main() {
-    let cfg = base_config(BenchProfile::from_env());
-    let frame = &cfg.frame;
-
-    println!("Table 1 — simulation parameters (reproduction values)");
-    println!("{:-<72}", "");
-    let mut rows: Vec<(String, String)> = Vec::new();
-    let mut add = |k: &str, v: String| rows.push((k.to_string(), v));
-
-    add("transmission bandwidth", "320 kHz (paper)".into());
-    add("speech source rate", "8 kbps (paper)".into());
-    add("frame duration", format!("{}", frame.frame_duration));
-    add(
-        "information slots per frame (N_i)",
-        frame.info_slots.to_string(),
-    );
-    add(
-        "request minislots per frame (N_r)",
-        frame.request_slots.to_string(),
-    );
-    add(
-        "CSI pilot/poll slots per frame (N_b)",
-        frame.pilot_slots.to_string(),
-    );
-    add(
-        "sub-slot scheduling granularity",
-        format!("1/{}", frame.subslots_per_slot),
-    );
-    add(
-        "RAMA auction slots per frame (N_a)",
-        frame.rama_auction_slots.to_string(),
-    );
-    add(
-        "DRMA information slots per frame (N_k)",
-        frame.drma_info_slots.to_string(),
-    );
-    add(
-        "DRMA minislots per converted slot (N_x)",
-        frame.drma_minislots.to_string(),
-    );
-    add(
-        "RMAV information slots per frame",
-        frame.rmav_info_slots.to_string(),
-    );
-    add(
-        "RMAV maximum data grant (P_max)",
-        frame.rmav_max_data_slots.to_string(),
-    );
-    add(
-        "mean talkspurt duration (t_t)",
-        format!("{}", cfg.voice_source.mean_talkspurt),
-    );
-    add(
-        "mean silence duration (t_s)",
-        format!("{}", cfg.voice_source.mean_silence),
-    );
-    add(
-        "voice activity factor",
-        format!("{:.3}", cfg.voice_source.activity_factor()),
-    );
-    add(
-        "voice packet period",
-        format!("{}", cfg.voice_source.packet_period),
-    );
-    add(
-        "voice packet deadline",
-        format!("{}", cfg.voice_source.deadline),
-    );
-    add(
-        "mean data burst inter-arrival",
-        format!("{}", cfg.data_source.mean_interarrival),
-    );
-    add(
-        "mean data burst size",
-        format!("{:.0} packets", cfg.data_source.mean_burst_packets),
-    );
-    add(
-        "voice permission probability (p_v)",
-        format!("{:.2}", cfg.contention.pv),
-    );
-    add(
-        "data permission probability (p_d)",
-        format!("{:.2}", cfg.contention.pd),
-    );
-    add(
-        "mean received SNR",
-        format!("{:.1} dB", cfg.channel.mean_snr_db),
-    );
-    add(
-        "shadowing std deviation",
-        format!("{:.1} dB", cfg.channel.shadowing.std_db),
-    );
-    add(
-        "shadowing correlation time",
-        format!("{}", cfg.channel.shadowing.correlation_time),
-    );
-    add("terminal speed profile", format!("{:?}", cfg.speed));
-    add(
-        "ABICM modes (normalised throughput)",
-        "outage, 1/2, 1, 2, 3, 4, 5".to_string(),
-    );
-    add(
-        "ABICM adaptation thresholds",
-        format!("{:?} dB", cfg.adaptive_phy.thresholds.boundaries),
-    );
-    add(
-        "ABICM in-range packet error rate",
-        format!("{:.0e}", cfg.adaptive_phy.in_range_per),
-    );
-    add(
-        "fixed-PHY design threshold",
-        format!("{:.1} dB", cfg.fixed_phy.design_threshold_db),
-    );
-    add(
-        "CSI estimation error std",
-        format!("{:.1} dB", cfg.csi.error_std_db),
-    );
-    add("CSI estimate validity", format!("{}", cfg.csi.validity));
-    add(
-        "request queue capacity",
-        cfg.request_queue_capacity.to_string(),
-    );
-    add(
-        "warm-up / measured frames",
-        format!("{} / {}", cfg.warmup_frames, cfg.measured_frames),
-    );
-    add("master seed", format!("0x{:X}", cfg.seed));
-
-    let csv_rows: Vec<String> = rows.iter().map(|(k, v)| format!("{k},{v}")).collect();
-    for (k, v) in &rows {
-        println!("{k:<42} {v}");
+    let profile = BenchProfile::from_env();
+    if let Err(e) = registry::run_and_record(&["table1".to_string()], profile, 0) {
+        eprintln!("table1: {e}");
+        std::process::exit(1);
     }
-    charisma_bench::write_csv("table1_parameters.csv", "parameter,value", &csv_rows);
 }

@@ -1,30 +1,39 @@
-//! Shared infrastructure for the figure/table regeneration binaries.
+//! # charisma-bench — the experiment campaign harness
 //!
-//! Every evaluation artifact of the paper has its own binary in `src/bin/`:
+//! Every evaluation artifact of the paper — and every scenario beyond the
+//! paper — is a named entry in the [`registry`]: a declarative
+//! [`Campaign`](charisma::Campaign) of
+//! [`ScenarioSpec`](charisma::ScenarioSpec)s for the sweep-shaped
+//! experiments, or a bespoke generator ([`artifacts`]) for the handful that
+//! are not sweeps (the parameter table, the fading trace, the PHY curves and
+//! the frame-loop perf benchmark).  One binary drives them all:
 //!
-//! | Binary | Paper artifact |
-//! |---|---|
-//! | `table1` | Table 1 — simulation parameters |
-//! | `fig5_fading` | Fig. 5 — sample of the combined fading process |
-//! | `fig7_abicm` | Fig. 7 — ABICM BER / throughput vs CSI |
-//! | `fig11` | Fig. 11(a)–(f) — voice packet loss vs voice users |
-//! | `fig12` | Fig. 12(a)–(f) — data throughput vs data users |
-//! | `fig13` | Fig. 13(a)–(f) — data delay vs data users |
-//! | `capacity_table` | §5.1 capacities at the 1 % loss threshold |
-//! | `qos_capacity` | §5.2 (delay ≤ 1 s, 0.25 pkt/frame) QoS capacities |
-//! | `speed_sweep` | §5.3.3 mobile-speed sensitivity |
-//! | `ablation_csi` | §5.3.1/5.3.2 ablation: CHARISMA without CSI awareness |
-//! | `bench_frame_loop` | frame-loop throughput trajectory (`results/BENCH_frame_loop.json`) |
+//! ```text
+//! cargo run --release -p charisma_bench --bin campaign -- list
+//! cargo run --release -p charisma_bench --bin campaign -- describe fig11
+//! cargo run --release -p charisma_bench --bin campaign -- run fig11 --profile quick
+//! cargo run --release -p charisma_bench --bin campaign -- run all --profile full
+//! ```
 //!
-//! Each binary prints an aligned text table (the "rows/series the paper
-//! reports") and writes a CSV under `results/` for plotting.  Set
-//! `CHARISMA_BENCH_PROFILE=quick|full` to trade accuracy for runtime
-//! (default: `standard`).
+//! Each run prints aligned text tables (the rows/series the paper reports),
+//! writes its artifacts under `results/`, and records provenance — spec
+//! JSON, profile, seeds, git revision — in `results/MANIFEST.json`.  The
+//! per-figure binaries (`fig11`, `capacity_table`, …) still exist as thin
+//! wrappers over the same registry entries.  Parameter values and exact
+//! commands are recorded in `EXPERIMENTS.md` at the repository root, whose
+//! generated section the `campaign` binary maintains via `--write-handbook`.
+//!
+//! The run length per sweep point is set by the [`BenchProfile`]
+//! (`--profile` or `CHARISMA_BENCH_PROFILE=quick|standard|full`; an
+//! unrecognised value is an error, not a silent default).
 
-use charisma::{ProtocolKind, SimConfig};
+use charisma::{FrameBudget, SimConfig};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+pub mod artifacts;
+pub mod registry;
 
 /// How long each sweep point simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,16 +47,50 @@ pub enum BenchProfile {
 }
 
 impl BenchProfile {
-    /// Reads the profile from `CHARISMA_BENCH_PROFILE`.
+    /// Every profile, with its canonical name.
+    pub const ALL: [BenchProfile; 3] = [
+        BenchProfile::Quick,
+        BenchProfile::Standard,
+        BenchProfile::Full,
+    ];
+
+    /// The canonical (lowercase) name of the profile.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchProfile::Quick => "quick",
+            BenchProfile::Standard => "standard",
+            BenchProfile::Full => "full",
+        }
+    }
+
+    /// Parses a profile name (case-insensitive).  Unrecognised values are an
+    /// error that lists the valid choices — never a silent fallback.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_lowercase().as_str() {
+            "quick" => Ok(BenchProfile::Quick),
+            "standard" => Ok(BenchProfile::Standard),
+            "full" => Ok(BenchProfile::Full),
+            other => Err(format!(
+                "unrecognised profile \"{other}\" (valid: quick, standard, full)"
+            )),
+        }
+    }
+
+    /// Reads the profile from `CHARISMA_BENCH_PROFILE` (unset: `standard`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the valid choices if the variable is set to an
+    /// unrecognised value, so a typo like `CHARISMA_BENCH_PROFILE=ful` fails
+    /// loudly instead of silently running the standard profile.
     pub fn from_env() -> Self {
-        match std::env::var("CHARISMA_BENCH_PROFILE")
-            .unwrap_or_default()
-            .to_lowercase()
-            .as_str()
-        {
-            "quick" => BenchProfile::Quick,
-            "full" => BenchProfile::Full,
-            _ => BenchProfile::Standard,
+        match std::env::var("CHARISMA_BENCH_PROFILE") {
+            Err(std::env::VarError::NotPresent) => BenchProfile::Standard,
+            Err(e) => panic!("CHARISMA_BENCH_PROFILE is not valid unicode: {e}"),
+            Ok(value) => match Self::parse(&value) {
+                Ok(profile) => profile,
+                Err(e) => panic!("CHARISMA_BENCH_PROFILE: {e}"),
+            },
         }
     }
 
@@ -66,6 +109,15 @@ impl BenchProfile {
             BenchProfile::Quick => 800,
             BenchProfile::Standard => 2_000,
             BenchProfile::Full => 4_000,
+        }
+    }
+
+    /// The frame budget [`DurationSpec::Profile`](charisma::DurationSpec)
+    /// scenario specs expand with under this profile.
+    pub fn budget(self) -> FrameBudget {
+        FrameBudget {
+            warmup: self.warmup_frames(),
+            measured: self.measured_frames(),
         }
     }
 }
@@ -135,42 +187,6 @@ pub fn fig12_data_counts(profile: BenchProfile) -> Vec<u32> {
     }
 }
 
-/// The (fixed other-class population, request queue) panels of Figs. 11–13:
-/// the paper's sub-figures (a)–(f).
-pub fn figure_panels() -> Vec<(u32, bool, &'static str)> {
-    vec![
-        (0, false, "(a) without request queue"),
-        (0, true, "(b) with request queue"),
-        (10, false, "(c) without request queue"),
-        (10, true, "(d) with request queue"),
-        (20, false, "(e) without request queue"),
-        (20, true, "(f) with request queue"),
-    ]
-}
-
-/// Formats a protocol row of a sweep table.
-pub fn format_row(label: &str, values: &[f64], formatter: impl Fn(f64) -> String) -> String {
-    let mut row = format!("{label:<12}");
-    for &v in values {
-        row.push_str(&format!("{:>10}", formatter(v)));
-    }
-    row
-}
-
-/// Formats a sweep table header.
-pub fn format_header(first: &str, loads: &[u32]) -> String {
-    let mut h = format!("{first:<12}");
-    for l in loads {
-        h.push_str(&format!("{l:>10}"));
-    }
-    h
-}
-
-/// All six protocols in the paper's listing order.
-pub fn all_protocols() -> [ProtocolKind; 6] {
-    ProtocolKind::ALL
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +198,30 @@ mod tests {
     }
 
     #[test]
+    fn profile_parsing_is_strict() {
+        for p in BenchProfile::ALL {
+            assert_eq!(BenchProfile::parse(p.label()), Ok(p));
+            assert_eq!(BenchProfile::parse(&p.label().to_uppercase()), Ok(p));
+        }
+        for bad in ["", "ful", "QUICKLY", "default", "Standard "] {
+            let e = BenchProfile::parse(bad).unwrap_err();
+            assert!(
+                e.contains("quick, standard, full"),
+                "error must list the valid choices, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_matches_the_frame_counts() {
+        for p in BenchProfile::ALL {
+            let b = p.budget();
+            assert_eq!(b.warmup, p.warmup_frames());
+            assert_eq!(b.measured, p.measured_frames());
+        }
+    }
+
+    #[test]
     fn base_config_is_valid_for_every_profile() {
         for p in [
             BenchProfile::Quick,
@@ -190,20 +230,5 @@ mod tests {
         ] {
             base_config(p).validate();
         }
-    }
-
-    #[test]
-    fn figure_panels_match_the_papers_six_subfigures() {
-        let panels = figure_panels();
-        assert_eq!(panels.len(), 6);
-        assert_eq!(panels.iter().filter(|(_, q, _)| *q).count(), 3);
-        assert_eq!(panels.iter().filter(|(n, _, _)| *n == 0).count(), 2);
-    }
-
-    #[test]
-    fn table_formatting_is_aligned() {
-        let header = format_header("protocol", &[20, 40]);
-        let row = format_row("CHARISMA", &[0.001, 0.01], |v| format!("{:.2}%", v * 100.0));
-        assert_eq!(header.len(), row.len());
     }
 }

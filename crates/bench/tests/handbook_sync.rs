@@ -1,0 +1,84 @@
+//! The reproduction handbook (`EXPERIMENTS.md`) must stay in sync with the
+//! scenario-campaign registry: every registered scenario documented, nothing
+//! stale left behind.  The generated section is maintained by
+//! `campaign write-handbook`; this suite diffs it against the registry.
+
+use charisma_bench::registry;
+use std::path::PathBuf;
+
+fn handbook_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md")
+}
+
+fn handbook_text() -> String {
+    std::fs::read_to_string(handbook_path()).expect(
+        "EXPERIMENTS.md is missing — regenerate it with \
+         `cargo run --release -p charisma_bench --bin campaign -- write-handbook`",
+    )
+}
+
+/// The scenario names documented in the generated section, in order.
+fn documented_scenarios(handbook: &str) -> Vec<String> {
+    let begin = handbook
+        .find(registry::GENERATED_BEGIN)
+        .expect("EXPERIMENTS.md lost its generated-section begin marker");
+    let end = handbook
+        .find(registry::GENERATED_END)
+        .expect("EXPERIMENTS.md lost its generated-section end marker");
+    assert!(begin < end, "generated-section markers are reversed");
+    handbook[begin..end]
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("### `")?;
+            Some(rest.split('`').next().unwrap_or_default().to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn handbook_scenario_list_matches_the_registry_exactly() {
+    let documented = documented_scenarios(&handbook_text());
+    let registered: Vec<String> = registry::names().iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        documented, registered,
+        "EXPERIMENTS.md's generated section diverged from the registry — \
+         regenerate it with `campaign write-handbook`"
+    );
+}
+
+#[test]
+fn handbook_generated_section_is_byte_current() {
+    // Stronger than the name diff: the whole generated block must match what
+    // the current registry renders, so edits to details/outputs/runtimes in
+    // the registry cannot silently go stale either.
+    let handbook = handbook_text();
+    let begin = handbook.find(registry::GENERATED_BEGIN).unwrap() + registry::GENERATED_BEGIN.len();
+    let end = handbook.find(registry::GENERATED_END).unwrap();
+    let in_file = handbook[begin..end].trim();
+    let current = registry::handbook_markdown();
+    assert_eq!(
+        in_file,
+        current.trim(),
+        "EXPERIMENTS.md's generated section is stale — \
+         regenerate it with `campaign write-handbook`"
+    );
+}
+
+#[test]
+fn handbook_documents_the_run_command_for_every_scenario() {
+    let handbook = handbook_text();
+    for entry in registry::entries() {
+        assert!(
+            handbook.contains(&format!("run {} --profile", entry.name)),
+            "EXPERIMENTS.md is missing the campaign run command for {}",
+            entry.name
+        );
+        for output in entry.outputs {
+            assert!(
+                handbook.contains(&format!("results/{output}")),
+                "EXPERIMENTS.md does not mention {}'s output results/{output}",
+                entry.name
+            );
+        }
+    }
+}

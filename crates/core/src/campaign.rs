@@ -1,0 +1,414 @@
+//! Campaigns: named collections of [`ScenarioSpec`]s that expand into one
+//! flat list of sweep points and execute on the deterministic parallel sweep
+//! workers ([`run_sweep`]).
+//!
+//! A campaign is the unit the benchmark registry runs: `fig11` is a campaign
+//! of one spec (all six protocols x three data populations x two queue
+//! variants x the voice-user grid), the CSI ablation is a campaign of three
+//! specs, and so on.  The result — a [`CampaignRun`] — renders to a single
+//! uniform CSV schema ([`CampaignRun::CSV_HEADER`]) whose bytes are a pure
+//! function of (campaign, frame budget): byte-identical across repeats and
+//! across sweep thread counts, which `tests/determinism.rs` pins.
+
+use crate::json::Json;
+use crate::spec::{CampaignPoint, FrameBudget, ScenarioSpec, SpecError};
+use crate::sweep::run_sweep;
+use crate::RunReport;
+use charisma_metrics::capacity_at_threshold;
+use serde::{Deserialize, Serialize};
+
+use crate::protocols::ProtocolKind;
+
+/// A named list of scenario specs executed as one unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign name (the registry entry name, e.g. `fig11`).
+    pub name: String,
+    /// The specs, expanded in order.
+    pub specs: Vec<ScenarioSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds a spec (builder style).
+    pub fn with_spec(mut self, spec: ScenarioSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Validates the campaign and every spec in it.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError("campaign name must not be empty".into()));
+        }
+        if self.specs.is_empty() {
+            return Err(SpecError(format!(
+                "campaign \"{}\" has no scenario specs",
+                self.name
+            )));
+        }
+        for (i, spec) in self.specs.iter().enumerate() {
+            if self.specs[..i].iter().any(|s| s.name == spec.name) {
+                return Err(SpecError(format!(
+                    "campaign \"{}\" has two specs named \"{}\"",
+                    self.name, spec.name
+                )));
+            }
+            spec.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Expands every spec into executable points, in spec order.
+    pub fn expand(&self, budget: FrameBudget) -> Result<Vec<CampaignPoint>, SpecError> {
+        self.validate()?;
+        let mut points = Vec::new();
+        for spec in &self.specs {
+            points.extend(spec.expand(budget)?);
+        }
+        Ok(points)
+    }
+
+    /// Runs the campaign on up to `threads` sweep workers (0: one per core).
+    /// Rows come back in expansion order regardless of the thread count.
+    pub fn run(&self, budget: FrameBudget, threads: usize) -> Result<CampaignRun, SpecError> {
+        let expanded = self.expand(budget)?;
+        let mut metas = Vec::with_capacity(expanded.len());
+        let mut points = Vec::with_capacity(expanded.len());
+        for p in expanded {
+            metas.push((p.scenario, p.speed_kmh));
+            points.push(p.point);
+        }
+        let results = run_sweep(points, threads);
+        let rows = metas
+            .into_iter()
+            .zip(results)
+            .map(|((scenario, speed_kmh), r)| CampaignRow {
+                scenario,
+                protocol: r.protocol,
+                request_queue: r.report.request_queue,
+                num_voice: r.report.num_voice,
+                num_data: r.report.num_data,
+                speed_kmh,
+                load: r.load,
+                report: r.report,
+            })
+            .collect();
+        Ok(CampaignRun {
+            campaign: self.name.clone(),
+            rows,
+        })
+    }
+
+    /// The distinct master seeds the campaign's points will use (for the run
+    /// manifest).
+    pub fn seeds(&self) -> Vec<u64> {
+        let mut seeds: Vec<u64> = Vec::new();
+        for spec in &self.specs {
+            let s = spec.effective_seed();
+            if !seeds.contains(&s) {
+                seeds.push(s);
+            }
+        }
+        seeds
+    }
+
+    /// Serialises the campaign (name + specs) to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "scenarios".into(),
+                Json::Array(self.specs.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// The JSON text form of the campaign (deterministic bytes).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes a campaign from JSON, rejecting unknown keys and validating
+    /// the result.
+    pub fn from_json(value: &Json) -> Result<Self, SpecError> {
+        let pairs = value.as_object().ok_or_else(|| {
+            SpecError(format!(
+                "campaign must be an object, got {}",
+                value.type_name()
+            ))
+        })?;
+        let mut name: Option<String> = None;
+        let mut specs = Vec::new();
+        for (key, v) in pairs {
+            match key.as_str() {
+                "name" => {
+                    name = Some(
+                        v.as_str()
+                            .ok_or_else(|| SpecError("campaign \"name\" must be a string".into()))?
+                            .to_string(),
+                    );
+                }
+                "scenarios" => {
+                    let items = v.as_array().ok_or_else(|| {
+                        SpecError("campaign \"scenarios\" must be an array".into())
+                    })?;
+                    specs = items
+                        .iter()
+                        .map(ScenarioSpec::from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                unknown => {
+                    return Err(SpecError(format!("unknown key \"{unknown}\" in campaign")));
+                }
+            }
+        }
+        let campaign = Campaign {
+            name: name.ok_or_else(|| SpecError("campaign is missing \"name\"".into()))?,
+            specs,
+        };
+        campaign.validate()?;
+        Ok(campaign)
+    }
+
+    /// Decodes a campaign from JSON text (see [`Campaign::from_json`]).
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        let value = Json::parse(text).map_err(|e| SpecError(e.to_string()))?;
+        Self::from_json(&value)
+    }
+}
+
+/// One executed campaign point with its coordinates and full report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Name of the spec the row came from.
+    pub scenario: String,
+    /// The protocol simulated.
+    pub protocol: ProtocolKind,
+    /// Whether the base-station request queue was enabled.
+    pub request_queue: bool,
+    /// Number of voice terminals.
+    pub num_voice: u32,
+    /// Number of data terminals.
+    pub num_data: u32,
+    /// Mean terminal speed of the point.
+    pub speed_kmh: f64,
+    /// The independent variable of the point.
+    pub load: f64,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+/// The executed campaign: rows in expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// Name of the campaign that produced the rows.
+    pub campaign: String,
+    /// One row per executed sweep point, in expansion order.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignRun {
+    /// The uniform CSV schema every sweep campaign renders to.
+    pub const CSV_HEADER: &'static str = "scenario,protocol,request_queue,num_voice,num_data,\
+                                          speed_kmh,load,voice_loss_rate,\
+                                          data_throughput_per_frame,data_delay_s";
+
+    /// The CSV data rows (no header), deterministically formatted.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{:.2},{},{:.6},{:.6},{:.6}",
+                    r.scenario,
+                    r.protocol.label(),
+                    r.request_queue,
+                    r.num_voice,
+                    r.num_data,
+                    r.speed_kmh,
+                    r.load,
+                    r.report.voice_loss_rate(),
+                    r.report.data_throughput_per_frame(),
+                    r.report.data_delay_secs(),
+                )
+            })
+            .collect()
+    }
+
+    /// The complete CSV document (header + rows + trailing newline).  The
+    /// bytes are a pure function of (campaign, frame budget) — see the module
+    /// docs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for row in self.csv_rows() {
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The rows of one curve — a fixed (scenario, protocol, queue) series —
+    /// as `(load, f(report))` pairs in load order, ready for
+    /// [`capacity_at_threshold`].
+    pub fn curve<F: Fn(&CampaignRow) -> f64>(
+        &self,
+        scenario: &str,
+        protocol: ProtocolKind,
+        request_queue: bool,
+        num_other: Option<(u32, bool)>,
+        metric: F,
+    ) -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                r.scenario == scenario && r.protocol == protocol && r.request_queue == request_queue
+            })
+            .filter(|r| match num_other {
+                // (count, true): fix the data population; (count, false): voice.
+                Some((n, true)) => r.num_data == n,
+                Some((n, false)) => r.num_voice == n,
+                None => true,
+            })
+            .map(|r| (r.load, metric(r)))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts
+    }
+
+    /// Capacity (largest load meeting `threshold`) along one curve; see
+    /// [`capacity_at_threshold`].
+    pub fn capacity(
+        &self,
+        scenario: &str,
+        protocol: ProtocolKind,
+        request_queue: bool,
+        num_other: Option<(u32, bool)>,
+        metric: impl Fn(&CampaignRow) -> f64,
+        threshold: f64,
+    ) -> Option<f64> {
+        let curve = self.curve(scenario, protocol, request_queue, num_other, metric);
+        if curve.is_empty() {
+            return None;
+        }
+        capacity_at_threshold(&curve, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, QueueToggle};
+
+    fn tiny_budget() -> FrameBudget {
+        FrameBudget {
+            warmup: 100,
+            measured: 800,
+        }
+    }
+
+    fn tiny_campaign() -> Campaign {
+        let mut spec = ScenarioSpec::new("tiny");
+        spec.protocols = vec![ProtocolKind::Charisma, ProtocolKind::DTdmaFr];
+        spec.axis = Axis::VoiceUsers;
+        spec.voice_users = vec![5, 10];
+        spec.data_users = vec![0, 2];
+        spec.request_queue = QueueToggle::Both;
+        Campaign::new("tiny-campaign").with_spec(spec)
+    }
+
+    #[test]
+    fn run_produces_rows_in_expansion_order() {
+        let campaign = tiny_campaign();
+        let expanded = campaign.expand(tiny_budget()).unwrap();
+        let run = campaign.run(tiny_budget(), 2).unwrap();
+        assert_eq!(run.rows.len(), expanded.len());
+        for (row, point) in run.rows.iter().zip(&expanded) {
+            assert_eq!(row.scenario, point.scenario);
+            assert_eq!(row.protocol, point.point.protocol);
+            assert_eq!(row.load, point.point.load);
+            assert_eq!(row.num_voice, point.point.config.num_voice);
+            assert_eq!(row.report.protocol, point.point.protocol);
+        }
+    }
+
+    #[test]
+    fn csv_bytes_are_identical_across_thread_counts() {
+        let campaign = tiny_campaign();
+        let serial = campaign.run(tiny_budget(), 1).unwrap().to_csv();
+        let parallel = campaign.run(tiny_budget(), 4).unwrap().to_csv();
+        assert_eq!(serial, parallel);
+        assert!(serial.starts_with(CampaignRun::CSV_HEADER));
+    }
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let campaign = tiny_campaign();
+        let text = campaign.to_json_string();
+        let back = Campaign::from_json_str(&text).unwrap();
+        assert_eq!(back, campaign);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn campaign_rejects_duplicate_spec_names_and_unknown_keys() {
+        let mut campaign = tiny_campaign();
+        campaign.specs.push(campaign.specs[0].clone());
+        assert!(campaign.validate().is_err());
+        assert!(Campaign::from_json_str(r#"{"name": "x", "extra": 1}"#).is_err());
+        assert!(Campaign::from_json_str(r#"{"name": "x", "scenarios": []}"#).is_err());
+    }
+
+    #[test]
+    fn curves_filter_and_sort_by_load() {
+        let campaign = tiny_campaign();
+        let run = campaign.run(tiny_budget(), 0).unwrap();
+        let curve = run.curve(
+            "tiny",
+            ProtocolKind::Charisma,
+            false,
+            Some((0, true)),
+            |r| r.report.voice_loss_rate(),
+        );
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].0, 5.0);
+        assert_eq!(curve[1].0, 10.0);
+        // The capacity helper runs on the same curve without panicking.
+        let _ = run.capacity(
+            "tiny",
+            ProtocolKind::Charisma,
+            false,
+            Some((0, true)),
+            |r| r.report.voice_loss_rate(),
+            0.01,
+        );
+    }
+
+    #[test]
+    fn seeds_reports_the_distinct_effective_seeds() {
+        let mut campaign = tiny_campaign();
+        assert_eq!(campaign.seeds(), vec![SimConfigSeed::default_seed()]);
+        let mut second = campaign.specs[0].clone();
+        second.name = "tiny-2".into();
+        second.seed = Some(7);
+        campaign.specs.push(second);
+        assert_eq!(campaign.seeds(), vec![SimConfigSeed::default_seed(), 7]);
+    }
+
+    /// Small helper so the test reads clearly.
+    struct SimConfigSeed;
+    impl SimConfigSeed {
+        fn default_seed() -> u64 {
+            crate::SimConfig::default_paper().seed
+        }
+    }
+}

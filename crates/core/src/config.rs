@@ -199,6 +199,21 @@ impl CharismaParams {
     }
 }
 
+/// A mid-run step in the offered voice load (a scenario shape the paper never
+/// evaluates; used by the campaign registry's `load_ramp` scenario).
+///
+/// Voice terminals with index `>= initial_voice` stay dormant — their traffic
+/// sources advance (keeping RNG streams aligned with an always-active
+/// population) but generate nothing — until `activation_frame`, at which
+/// point they join the cell.  Data terminals are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadRamp {
+    /// Number of voice terminals active from frame 0.
+    pub initial_voice: u32,
+    /// Frame index at which the remaining voice terminals activate.
+    pub activation_frame: u64,
+}
+
 /// Request-contention parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ContentionConfig {
@@ -254,6 +269,9 @@ pub struct SimConfig {
     pub warmup_frames: u64,
     /// Frames measured after warm-up.
     pub measured_frames: u64,
+    /// Optional mid-run voice load step (None: all terminals active from
+    /// frame 0, the paper's setting).
+    pub ramp: Option<LoadRamp>,
     /// Master random seed.
     pub seed: u64,
 }
@@ -285,6 +303,7 @@ impl SimConfig {
             request_queue_capacity: 256,
             warmup_frames: 4_000,    // 10 s warm-up
             measured_frames: 40_000, // 100 s measured
+            ramp: None,
             seed: 0x5EED_CAFE,
         }
     }
@@ -321,6 +340,20 @@ impl SimConfig {
             self.num_voice as u64 + self.num_data as u64 > 0,
             "a scenario needs at least one terminal"
         );
+        if let Some(ramp) = &self.ramp {
+            assert!(
+                ramp.initial_voice <= self.num_voice,
+                "ramp initial_voice ({}) must not exceed num_voice ({})",
+                ramp.initial_voice,
+                self.num_voice
+            );
+            assert!(
+                ramp.activation_frame <= self.total_frames(),
+                "ramp activation_frame ({}) is beyond the run ({} frames)",
+                ramp.activation_frame,
+                self.total_frames()
+            );
+        }
         // The voice packet period must be a whole number of frames, otherwise
         // the isochronous schedule cannot be honoured.
         let _ = self.clock().frames_per(self.voice_source.packet_period);
@@ -396,6 +429,28 @@ mod tests {
     fn validation_rejects_bad_forgetting_factor() {
         let mut cfg = SimConfig::default_paper();
         cfg.charisma.beta_voice = 1.5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_voice")]
+    fn validation_rejects_ramp_larger_than_population() {
+        let mut cfg = SimConfig::default_paper();
+        cfg.ramp = Some(LoadRamp {
+            initial_voice: cfg.num_voice + 1,
+            activation_frame: 100,
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "activation_frame")]
+    fn validation_rejects_ramp_beyond_the_run() {
+        let mut cfg = SimConfig::default_paper();
+        cfg.ramp = Some(LoadRamp {
+            initial_voice: 10,
+            activation_frame: cfg.total_frames() + 1,
+        });
         cfg.validate();
     }
 

@@ -16,9 +16,16 @@
 //!   ([`terminal::Terminal`]), the per-frame execution environment
 //!   ([`world::FrameWorld`]) and the scenario runner ([`scenario::Scenario`]);
 //! * the scenario configuration ([`config::SimConfig`]) encoding the paper's
-//!   Table 1 parameters; and
+//!   Table 1 parameters;
 //! * multi-threaded parameter sweeps ([`sweep`]) used by the benchmark
-//!   harness to regenerate every figure of the evaluation section.
+//!   harness to regenerate every figure of the evaluation section; and
+//! * the declarative scenario-campaign layer ([`spec`], [`campaign`], backed
+//!   by the dependency-free [`json`] codec): named [`spec::ScenarioSpec`]
+//!   overrides that serialise to JSON and expand into sweep points, so whole
+//!   experiments are data instead of hand-rolled loops.  The `campaign`
+//!   binary in `charisma_bench` drives every experiment of the paper (and
+//!   several the paper never plotted) through this layer — see
+//!   `EXPERIMENTS.md` at the repository root.
 //!
 //! ## Quick start
 //!
@@ -39,16 +46,24 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod config;
+pub mod json;
 pub mod protocols;
 pub mod scenario;
+pub mod spec;
 pub mod sweep;
 pub mod terminal;
 pub mod world;
 
-pub use config::{CharismaParams, ContentionConfig, FrameStructure, SimConfig};
+pub use campaign::{Campaign, CampaignRow, CampaignRun};
+pub use config::{CharismaParams, ContentionConfig, FrameStructure, LoadRamp, SimConfig};
+pub use json::Json;
 pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
 pub use scenario::{RunReport, Scenario};
+pub use spec::{
+    Axis, CampaignPoint, DurationSpec, FrameBudget, QueueToggle, RampSpec, ScenarioSpec, SpecError,
+};
 pub use sweep::{data_load_sweep, run_sweep, voice_load_sweep, SweepPoint, SweepResult};
 pub use terminal::{FrameTraffic, Terminal};
 pub use world::{DataTx, FrameScratch, FrameWorld, LinkAdaptation, VoiceTx};

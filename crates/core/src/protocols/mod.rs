@@ -93,6 +93,12 @@ impl ProtocolKind {
         !matches!(self, ProtocolKind::Rmav)
     }
 
+    /// Parses the display label back into a protocol (the inverse of
+    /// [`ProtocolKind::label`]; used by the scenario-spec JSON codec).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == label)
+    }
+
     /// Builds a fresh protocol instance for a scenario configuration.
     pub fn build(&self, config: &SimConfig) -> Box<dyn UplinkMac> {
         match self {

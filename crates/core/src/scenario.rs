@@ -114,7 +114,7 @@ impl Scenario {
                 } else {
                     TerminalClass::Data
                 };
-                Terminal::new(
+                let mut terminal = Terminal::new(
                     TerminalId(i),
                     class,
                     clock,
@@ -124,7 +124,15 @@ impl Scenario {
                     self.config.channel_mode,
                     &self.config.speed,
                     streams,
-                )
+                );
+                // A load ramp keeps the tail of the voice population dormant
+                // until its activation frame (see [`crate::config::LoadRamp`]).
+                if let Some(ramp) = &self.config.ramp {
+                    if class == TerminalClass::Voice && i >= ramp.initial_voice {
+                        terminal.set_active_from_frame(ramp.activation_frame);
+                    }
+                }
+                terminal
             })
             .collect()
     }
@@ -308,6 +316,33 @@ mod tests {
                 v.generated
             );
         }
+    }
+
+    #[test]
+    fn load_ramp_withholds_traffic_until_activation() {
+        use crate::config::LoadRamp;
+        let mut cfg = small_config(30, 0);
+        let full = Scenario::new(cfg.clone()).run(ProtocolKind::Charisma);
+        cfg.ramp = Some(LoadRamp {
+            initial_voice: 10,
+            // Activate the remaining 20 voice users halfway through the
+            // measured window.
+            activation_frame: cfg.warmup_frames + cfg.measured_frames / 2,
+        });
+        let ramped = Scenario::new(cfg.clone()).run(ProtocolKind::Charisma);
+        assert!(
+            ramped.metrics.voice.generated < full.metrics.voice.generated,
+            "ramped run must offer less voice traffic ({} vs {})",
+            ramped.metrics.voice.generated,
+            full.metrics.voice.generated
+        );
+        // Rough shape: 10 users all along + 20 users for half the window
+        // ≈ 2/3 of the always-active traffic.
+        let ratio = ramped.metrics.voice.generated as f64 / full.metrics.voice.generated as f64;
+        assert!((0.5..0.85).contains(&ratio), "traffic ratio {ratio}");
+        // Determinism is preserved under a ramp.
+        let again = Scenario::new(cfg).run(ProtocolKind::Charisma);
+        assert_eq!(ramped, again);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct Terminal {
     /// Randomness for packet-error draws of this terminal's transmissions.
     phy_rng: Xoshiro256StarStar,
     in_talkspurt: bool,
+    /// First frame at which the terminal participates (0 for all terminals
+    /// except those activated mid-run by a load ramp).  A dormant terminal
+    /// advances its sources — keeping RNG streams aligned with an
+    /// always-active population — but discards the traffic and never
+    /// contends.
+    active_from_frame: u64,
 }
 
 impl Terminal {
@@ -116,7 +122,21 @@ impl Terminal {
             contention_rng: streams.stream(StreamId::new(StreamId::DOMAIN_CONTENTION, idx)),
             phy_rng: streams.stream(StreamId::new(StreamId::DOMAIN_PHY, idx)),
             in_talkspurt,
+            active_from_frame: 0,
         }
+    }
+
+    /// Defers the terminal's participation to `frame` (load-ramp scenarios):
+    /// until then [`Terminal::begin_frame`] reports no traffic, the transmit
+    /// buffers stay empty and the terminal never appears in a talkspurt.
+    pub fn set_active_from_frame(&mut self, frame: u64) {
+        self.active_from_frame = frame;
+    }
+
+    /// Whether the terminal participates in the given frame (always true
+    /// unless a load ramp deferred its activation).
+    pub fn is_active_at(&self, frame_index: u64) -> bool {
+        frame_index >= self.active_from_frame
     }
 
     /// The terminal identifier.
@@ -250,6 +270,20 @@ impl Terminal {
                 self.data_buffer.push_burst(now, arrived);
                 out.data_packets_arrived = arrived;
             }
+        }
+
+        // A dormant terminal (activated mid-run by a load ramp) advances its
+        // sources exactly like an active one so the per-terminal RNG streams
+        // stay aligned, but its traffic is discarded: nothing is buffered,
+        // nothing is reported, and it never looks like a contender.  From the
+        // activation frame onward it behaves draw-for-draw like an
+        // always-active twin — a terminal woken mid-talkspurt buffers that
+        // talkspurt's remaining packets (and contends for them) immediately.
+        if frame_index < self.active_from_frame {
+            self.voice_buffer.clear();
+            self.data_buffer.clear();
+            self.in_talkspurt = false;
+            return FrameTraffic::default();
         }
 
         out
@@ -405,6 +439,44 @@ mod tests {
             (eager - lazy).abs() < 1.0,
             "eager mean SNR {eager} dB vs lazy {lazy} dB"
         );
+    }
+
+    #[test]
+    fn dormant_terminal_reports_nothing_then_wakes_up() {
+        let mut t = make(TerminalClass::Voice, 21);
+        t.set_active_from_frame(4_000);
+        for k in 0..4_000u64 {
+            assert!(!t.is_active_at(k));
+            let tr = t.begin_frame(k);
+            assert_eq!(tr, FrameTraffic::default(), "dormant frame {k} had traffic");
+            assert!(!t.in_talkspurt());
+            assert!(!t.has_backlog());
+        }
+        let mut generated = 0u64;
+        for k in 4_000..80_000u64 {
+            assert!(t.is_active_at(k));
+            generated += t.begin_frame(k).voice_packet_generated as u64;
+        }
+        assert!(generated > 1_000, "woken terminal generated {generated}");
+    }
+
+    #[test]
+    fn dormant_prefix_does_not_change_the_post_activation_sample_path() {
+        // The whole point of advancing sources while dormant: after the
+        // activation frame the terminal behaves draw-for-draw like an
+        // always-active twin.
+        let mut active = make(TerminalClass::Voice, 22);
+        let mut ramped = make(TerminalClass::Voice, 22);
+        ramped.set_active_from_frame(2_000);
+        for k in 0..2_000u64 {
+            let _ = active.begin_frame(k);
+            let _ = ramped.begin_frame(k);
+        }
+        // Drain the always-active twin's backlog so the buffers agree.
+        while active.voice_buffer_mut().pop().is_some() {}
+        for k in 2_000..10_000u64 {
+            assert_eq!(active.begin_frame(k), ramped.begin_frame(k), "frame {k}");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! Advancing an AR(1) process by `dt` needs `ρ = exp(−dt/T)` and the
 //! innovation scale `σ·√(1 − ρ²)`.  The simulation steps every terminal's
 //! channel on a fixed 2.5 ms frame grid, so both processes memoise the
-//! coefficients of the most recent `dt` ([`ArStepCoefficients`]) and only pay
+//! coefficients of the most recent `dt` (`ArStepCoefficients`) and only pay
 //! the `exp`/`sqrt` when the step size actually changes.
 //!
 //! Because the AR(1) kernel is *exactly* multiplicative —

@@ -39,6 +39,20 @@ pub enum SpeedProfile {
         /// Upper bound in km/h.
         max_kmh: f64,
     },
+    /// A heterogeneous two-class population: each terminal is independently a
+    /// fast mover (probability `fraction_fast`, e.g. vehicular) or a slow one
+    /// (e.g. pedestrian).  The paper only evaluates homogeneous populations;
+    /// this profile opens the mixed-mobility scenarios the campaign registry
+    /// adds, where CSI-aware scheduling can exploit the slow (long-coherence)
+    /// terminals.
+    Bimodal {
+        /// Speed of the slow class in km/h.
+        slow_kmh: f64,
+        /// Speed of the fast class in km/h.
+        fast_kmh: f64,
+        /// Probability that a terminal belongs to the fast class, in `[0, 1]`.
+        fraction_fast: f64,
+    },
 }
 
 impl SpeedProfile {
@@ -64,6 +78,25 @@ impl SpeedProfile {
                 );
                 min_kmh + (max_kmh - min_kmh) * rng.next_f64()
             }
+            SpeedProfile::Bimodal {
+                slow_kmh,
+                fast_kmh,
+                fraction_fast,
+            } => {
+                assert!(
+                    slow_kmh >= 0.0 && fast_kmh >= 0.0,
+                    "bimodal speeds must be non-negative"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&fraction_fast),
+                    "fraction_fast must be a probability, got {fraction_fast}"
+                );
+                if rng.next_f64() < fraction_fast {
+                    fast_kmh
+                } else {
+                    slow_kmh
+                }
+            }
         }
     }
 
@@ -72,6 +105,11 @@ impl SpeedProfile {
         match *self {
             SpeedProfile::Fixed(v) => v,
             SpeedProfile::Uniform { min_kmh, max_kmh } => 0.5 * (min_kmh + max_kmh),
+            SpeedProfile::Bimodal {
+                slow_kmh,
+                fast_kmh,
+                fraction_fast,
+            } => slow_kmh + (fast_kmh - slow_kmh) * fraction_fast,
         }
     }
 }
@@ -197,5 +235,40 @@ mod tests {
     #[test]
     fn paper_default_profile_mean_is_50() {
         assert_eq!(SpeedProfile::paper_default().mean_kmh(), 50.0);
+    }
+
+    #[test]
+    fn bimodal_profile_draws_both_classes_with_the_right_rate() {
+        let profile = SpeedProfile::Bimodal {
+            slow_kmh: 3.0,
+            fast_kmh: 80.0,
+            fraction_fast: 0.25,
+        };
+        let mut rng = Xoshiro256StarStar::from_seed_u64(42);
+        let n = 40_000;
+        let mut fast = 0usize;
+        for _ in 0..n {
+            let v = profile.sample(&mut rng);
+            assert!(v == 3.0 || v == 80.0, "unexpected speed {v}");
+            if v == 80.0 {
+                fast += 1;
+            }
+        }
+        let frac = fast as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "fast fraction {frac}");
+        let mean = profile.mean_kmh();
+        assert!((mean - (3.0 + 77.0 * 0.25)).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bimodal_rejects_bad_fraction() {
+        let mut rng = Xoshiro256StarStar::from_seed_u64(1);
+        let _ = SpeedProfile::Bimodal {
+            slow_kmh: 3.0,
+            fast_kmh: 80.0,
+            fraction_fast: 1.5,
+        }
+        .sample(&mut rng);
     }
 }

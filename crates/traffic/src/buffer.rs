@@ -72,6 +72,12 @@ impl VoiceBuffer {
     pub fn peek(&self) -> Option<&VoicePacket> {
         self.queue.front()
     }
+
+    /// Discards every queued packet, keeping the allocation (used for
+    /// terminals that are dormant until a load-ramp activation frame).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
 }
 
 /// A contiguous run of data packets that arrived together (one burst or a
@@ -117,6 +123,13 @@ impl DataBuffer {
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Discards every queued packet, keeping the allocation (used for
+    /// terminals that are dormant until a load-ramp activation frame).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.len = 0;
     }
 
     /// Enqueues `count` packets that all arrived at `arrived_at`.

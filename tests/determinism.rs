@@ -2,8 +2,13 @@
 //! (`SimConfig`, protocol), no matter how often it runs or how many threads
 //! execute the surrounding sweep.  This is the property every later
 //! performance PR (sharding, batching, parallel sweeps) must preserve.
+//!
+//! The campaign-layer tests extend the property one level up: a registry
+//! campaign's rendered CSV bytes are a pure function of (campaign, frame
+//! budget), across repeats and across sweep thread counts.
 
-use charisma::{run_sweep, ProtocolKind, Scenario, SimConfig, SweepPoint};
+use charisma::{run_sweep, FrameBudget, ProtocolKind, Scenario, SimConfig, SweepPoint};
+use charisma_bench::{registry, BenchProfile};
 
 fn config(seed: u64) -> SimConfig {
     let mut cfg = SimConfig::quick_test();
@@ -73,4 +78,62 @@ fn sweep_results_are_independent_of_thread_count() {
             s.protocol
         );
     }
+}
+
+/// The registry's `fig11` campaign, miniaturised for a debug-build test: the
+/// full `campaign run fig11 --profile quick` shape (all panels, both queue
+/// variants, the same expansion/render code path), but with trimmed grids,
+/// a three-protocol subset and a ~1/6 frame budget so the 2x2 run matrix
+/// below stays inside unit-test time.  The released binary runs the
+/// untrimmed campaign through exactly the same `Campaign::run` + `to_csv`
+/// calls this test exercises.
+fn mini_fig11() -> charisma::Campaign {
+    let mut campaign =
+        registry::build_campaign("fig11", BenchProfile::Quick).expect("fig11 is a sweep campaign");
+    for spec in &mut campaign.specs {
+        spec.protocols = vec![
+            ProtocolKind::Charisma,
+            ProtocolKind::DTdmaFr,
+            ProtocolKind::Rmav,
+        ];
+        spec.voice_users = vec![10, 25];
+        spec.data_users = vec![0, 2];
+    }
+    campaign
+}
+
+fn mini_budget() -> FrameBudget {
+    FrameBudget {
+        warmup: 120,
+        measured: 720,
+    }
+}
+
+#[test]
+fn campaign_csv_bytes_are_identical_across_runs() {
+    let campaign = mini_fig11();
+    let a = campaign.run(mini_budget(), 1).unwrap().to_csv();
+    let b = campaign.run(mini_budget(), 1).unwrap().to_csv();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two identical campaign runs rendered different CSVs");
+}
+
+#[test]
+fn campaign_csv_bytes_are_identical_across_sweep_thread_counts() {
+    let campaign = mini_fig11();
+    let serial = campaign.run(mini_budget(), 1).unwrap().to_csv();
+    let parallel = campaign.run(mini_budget(), 4).unwrap().to_csv();
+    assert_eq!(
+        serial, parallel,
+        "campaign CSV must not depend on the sweep thread count"
+    );
+    // Sanity: the mini campaign still covers every (queue, Nd) panel.
+    let lines: Vec<&str> = serial.lines().collect();
+    // Header + (2 off-queue protocols incl. RMAV, 2 on-queue protocols
+    // excl. RMAV... ) — count data rows explicitly:
+    // off-queue: 3 protocols x 2 Nd x 2 Nv = 12; on-queue: 2 x 2 x 2 = 8.
+    assert_eq!(lines.len(), 1 + 12 + 8);
+    assert!(lines[0].starts_with("scenario,protocol,request_queue"));
+    assert!(serial.contains("RMAV,false"));
+    assert!(!serial.contains("RMAV,true"), "RMAV has no queue variant");
 }
