@@ -7,8 +7,9 @@
 //! functions so the campaign registry can drive them exactly like the sweep
 //! campaigns; the corresponding `src/bin/` binaries are thin wrappers.
 
-use crate::{base_config, write_csv, write_output, BenchProfile};
+use crate::{base_config, write_csv, write_output, BaselineWrite, BenchProfile};
 use charisma::des::{RngStreams, SimDuration, StreamId};
+use charisma::metrics::RunningStat;
 use charisma::phy::{AdaptivePhy, FixedPhy, Phy};
 use charisma::radio::{ChannelConfig, ChannelMode, CombinedChannel, Mobility};
 use charisma::{ProtocolKind, Scenario, SimConfig};
@@ -17,7 +18,7 @@ use std::time::Instant;
 
 /// Table 1 — prints every parameter of the common simulation platform and
 /// writes `results/table1_parameters.csv`.
-pub fn run_table1(profile: BenchProfile) -> Vec<PathBuf> {
+pub fn run_table1(profile: BenchProfile, _baseline: BaselineWrite) -> Vec<PathBuf> {
     let cfg = base_config(profile);
     let frame = &cfg.frame;
 
@@ -158,7 +159,7 @@ pub fn run_table1(profile: BenchProfile) -> Vec<PathBuf> {
 
 /// Fig. 5 — a 2-second sample of the combined fading process at 50 km/h;
 /// writes `results/fig5_fading.csv`.
-pub fn run_fig5_fading(_profile: BenchProfile) -> Vec<PathBuf> {
+pub fn run_fig5_fading(_profile: BenchProfile, _baseline: BaselineWrite) -> Vec<PathBuf> {
     let streams = RngStreams::new(0xF165_BEEF);
     let mut channel = CombinedChannel::new(
         ChannelConfig::default(),
@@ -214,7 +215,7 @@ pub fn run_fig5_fading(_profile: BenchProfile) -> Vec<PathBuf> {
 
 /// Fig. 7 — ABICM throughput and error behaviour versus CSI; writes
 /// `results/fig7_abicm.csv`.
-pub fn run_fig7_abicm(_profile: BenchProfile) -> Vec<PathBuf> {
+pub fn run_fig7_abicm(_profile: BenchProfile, _baseline: BaselineWrite) -> Vec<PathBuf> {
     let adaptive = AdaptivePhy::default();
     let fixed = FixedPhy::default();
 
@@ -255,23 +256,36 @@ pub fn run_fig7_abicm(_profile: BenchProfile) -> Vec<PathBuf> {
 
 /// One measured (protocol, channel mode) combination of the frame-loop
 /// benchmark.
-struct Measurement {
-    protocol: ProtocolKind,
-    mode: ChannelMode,
-    reps: u32,
-    best_elapsed_secs: f64,
-    frames_per_second: f64,
-    voice_loss_rate: f64,
+pub struct Measurement {
+    /// The protocol measured.
+    pub protocol: ProtocolKind,
+    /// The channel evaluation mode measured.
+    pub mode: ChannelMode,
+    /// Wall-clock repetitions taken.
+    pub reps: u32,
+    /// Fastest repetition, in seconds.
+    pub best_elapsed_secs: f64,
+    /// Frames per second of the fastest repetition.
+    pub frames_per_second: f64,
+    /// Per-repetition frames-per-second samples (mean/CI for the gate).
+    pub fps: RunningStat,
+    /// Voice loss of the (deterministic) run, as a sanity check.
+    pub voice_loss_rate: f64,
 }
 
-fn mode_label(mode: ChannelMode) -> &'static str {
+/// The JSON label of a channel mode in the benchmark record.
+pub fn mode_label(mode: ChannelMode) -> &'static str {
     match mode {
         ChannelMode::Eager => "eager",
         ChannelMode::Lazy => "lazy",
     }
 }
 
-fn reference_config(profile: BenchProfile) -> SimConfig {
+/// The (protocol, mode) grid the frame-loop benchmark measures.
+pub const BENCH_PROTOCOLS: [ProtocolKind; 2] = [ProtocolKind::Charisma, ProtocolKind::DTdmaVr];
+
+/// The reference scenario of the frame-loop benchmark for a profile.
+pub fn reference_config(profile: BenchProfile) -> SimConfig {
     let mut cfg = SimConfig::default_paper();
     cfg.num_voice = 60;
     cfg.num_data = 10;
@@ -285,18 +299,27 @@ fn reference_config(profile: BenchProfile) -> SimConfig {
     cfg
 }
 
-fn measure(base: &SimConfig, protocol: ProtocolKind, mode: ChannelMode, reps: u32) -> Measurement {
+/// Measures one (protocol, mode) combination: `reps` wall-clock repetitions
+/// of the same deterministic run.
+pub fn measure(
+    base: &SimConfig,
+    protocol: ProtocolKind,
+    mode: ChannelMode,
+    reps: u32,
+) -> Measurement {
     let mut cfg = base.clone();
     cfg.channel_mode = mode;
     let scenario = Scenario::new(cfg);
     let total_frames = scenario.config().total_frames();
     let mut best = f64::INFINITY;
+    let mut fps = RunningStat::new();
     let mut loss = 0.0;
     for _ in 0..reps {
         let start = Instant::now();
         let report = scenario.run(protocol);
         let elapsed = start.elapsed().as_secs_f64();
         best = best.min(elapsed);
+        fps.push(total_frames as f64 / elapsed);
         loss = report.voice_loss_rate();
     }
     Measurement {
@@ -305,19 +328,38 @@ fn measure(base: &SimConfig, protocol: ProtocolKind, mode: ChannelMode, reps: u3
         reps,
         best_elapsed_secs: best,
         frames_per_second: total_frames as f64 / best,
+        fps,
         voice_loss_rate: loss,
+    }
+}
+
+/// The file the frame-loop benchmark record is written to under `results/`.
+///
+/// Only an explicitly named standard-profile run writes the canonical
+/// `BENCH_frame_loop.json` — the committed baseline the CI regression gate
+/// compares against.  Quick and full runs (CI smoke steps, local
+/// experiments) go to profile-suffixed siblings, and a bulk `run all` at the
+/// standard profile goes to a `.standard.json` sidecar, so the committed
+/// baseline is only ever regenerated deliberately.
+pub fn bench_frame_loop_file(profile: BenchProfile, baseline: BaselineWrite) -> &'static str {
+    match (profile, baseline) {
+        (BenchProfile::Standard, BaselineWrite::Allowed) => "BENCH_frame_loop.json",
+        (BenchProfile::Standard, BaselineWrite::Sidecar) => "BENCH_frame_loop.standard.json",
+        (BenchProfile::Quick, _) => "BENCH_frame_loop.quick.json",
+        (BenchProfile::Full, _) => "BENCH_frame_loop.full.json",
     }
 }
 
 /// The frame-loop throughput benchmark: the perf trajectory every PR is
 /// measured against.  Runs the reference scenario (60 voice + 10 data
 /// terminals) under CHARISMA and D-TDMA/VR with both the eager baseline and
-/// the lazy hot path, prints frames per second, and writes
-/// `results/BENCH_frame_loop.json` (schema `charisma.bench_frame_loop.v1`).
-pub fn run_bench_frame_loop(profile: BenchProfile) -> Vec<PathBuf> {
+/// the lazy hot path, prints frames per second, and writes the routed
+/// record file (schema `charisma.bench_frame_loop.v1`, see
+/// [`bench_frame_loop_file`]).
+pub fn run_bench_frame_loop(profile: BenchProfile, baseline: BaselineWrite) -> Vec<PathBuf> {
     let config = reference_config(profile);
     let reps = if profile == BenchProfile::Quick { 1 } else { 3 };
-    let protocols = [ProtocolKind::Charisma, ProtocolKind::DTdmaVr];
+    let protocols = BENCH_PROTOCOLS;
     let profile_label = profile.label();
 
     println!(
@@ -413,7 +455,48 @@ pub fn run_bench_frame_loop(profile: BenchProfile) -> Vec<PathBuf> {
         run_objects.join(",\n"),
         speedups.join(",\n"),
     );
-    let path = write_output("BENCH_frame_loop.json", &json)
+    let path = write_output(bench_frame_loop_file(profile, baseline), &json)
         .expect("failed to persist the benchmark record");
     vec![path]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_an_explicit_standard_run_writes_the_committed_baseline() {
+        assert_eq!(
+            bench_frame_loop_file(BenchProfile::Standard, BaselineWrite::Allowed),
+            "BENCH_frame_loop.json"
+        );
+        // Every other (profile, context) combination is routed elsewhere.
+        for p in BenchProfile::ALL {
+            for b in [BaselineWrite::Allowed, BaselineWrite::Sidecar] {
+                if p == BenchProfile::Standard && b == BaselineWrite::Allowed {
+                    continue;
+                }
+                assert_ne!(
+                    bench_frame_loop_file(p, b),
+                    "BENCH_frame_loop.json",
+                    "{} / {b:?} must never overwrite the committed standard baseline",
+                    p.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measure_collects_per_repetition_fps_samples() {
+        let mut cfg = SimConfig::quick_test();
+        cfg.num_voice = 5;
+        cfg.num_data = 1;
+        cfg.warmup_frames = 50;
+        cfg.measured_frames = 300;
+        let m = measure(&cfg, ProtocolKind::Charisma, ChannelMode::Lazy, 3);
+        assert_eq!(m.reps, 3);
+        assert_eq!(m.fps.count(), 3);
+        assert!(m.fps.mean() > 0.0);
+        assert!(m.frames_per_second >= m.fps.mean(), "best >= mean fps");
+    }
 }

@@ -5,6 +5,7 @@
 //! campaign describe <name>                    # details + the exact spec JSON
 //! campaign run <name>... --profile quick      # run entries, write results/ + MANIFEST.json
 //! campaign run all --profile full             # regenerate every artifact
+//! campaign gate bench_frame_loop --profile quick  # regression gate vs committed baseline
 //! campaign write-handbook                     # refresh EXPERIMENTS.md's generated section
 //! ```
 //!
@@ -15,8 +16,8 @@
 //! documentation this binary maintains.
 
 use charisma_bench::registry::{self, EntryKind};
-use charisma_bench::BenchProfile;
-use std::path::Path;
+use charisma_bench::{gate, BaselineWrite, BenchProfile};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -26,13 +27,26 @@ commands:
   list                        list every registered scenario
   describe <name>             show a scenario's details and exact spec JSON
   run <name>... | all         run scenarios (writes results/ + results/MANIFEST.json)
+  gate <name>                 re-run a scenario and compare against its committed
+                              baseline in results/ (exit 0 pass, 1 regression)
   write-handbook              refresh the generated section of EXPERIMENTS.md
 
 run options:
   --profile quick|standard|full   run length per sweep point
                                   (default: CHARISMA_BENCH_PROFILE, else standard)
   --threads N                     sweep worker threads (default 0 = one per core)
-  --write-handbook                also refresh EXPERIMENTS.md after the run";
+  --write-handbook                also refresh EXPERIMENTS.md after the run
+
+gate options:
+  --profile / --threads           run length / workers of sweep-entry gates;
+                                  the bench_frame_loop gate ignores both — it
+                                  always re-measures the standard reference
+                                  scenario the committed baseline recorded
+  --tolerance F                   allowed relative regression (default 0.30);
+                                  the 95% CI half-width is always credited on top,
+                                  so seed/timing noise alone cannot fail the gate
+  --baseline PATH                 compare against PATH instead of the default
+                                  committed baseline";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +58,7 @@ fn main() -> ExitCode {
         "list" => list(),
         "describe" => describe(&args[1..]),
         "run" => run(&args[1..]),
+        "gate" => run_gate(&args[1..]),
         "write-handbook" => write_handbook(),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -178,12 +193,16 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("campaign run: no scenarios given (try \"all\" or `campaign list`)");
         return ExitCode::from(2);
     }
+    // Bulk runs route committed baselines (the frame-loop perf record) to
+    // sidecar files: only an explicitly named run may refresh them.
+    let mut baseline = BaselineWrite::Allowed;
     if names.iter().any(|n| n == "all") {
         if names.len() > 1 {
             eprintln!("campaign run: \"all\" cannot be combined with explicit names");
             return ExitCode::from(2);
         }
         names = registry::names().iter().map(|s| s.to_string()).collect();
+        baseline = BaselineWrite::Sidecar;
     }
     let profile = profile.unwrap_or_else(BenchProfile::from_env);
     for name in &names {
@@ -196,7 +215,7 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    match registry::run_and_record(&names, profile, threads) {
+    match registry::run_and_record_with(&names, profile, threads, baseline) {
         Ok(reports) => {
             let points: usize = reports.iter().map(|r| r.points).sum();
             println!(
@@ -213,6 +232,113 @@ fn run(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("campaign run: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_gate(args: &[String]) -> ExitCode {
+    let mut name: Option<String> = None;
+    let mut profile: Option<BenchProfile> = None;
+    let mut threads = 0usize;
+    let mut tolerance = gate::DEFAULT_TOLERANCE;
+    let mut baseline: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign gate: --profile needs a value (quick|standard|full)");
+                    return ExitCode::from(2);
+                };
+                match BenchProfile::parse(value) {
+                    Ok(p) => profile = Some(p),
+                    Err(e) => {
+                        eprintln!("campaign gate: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--threads" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign gate: --threads needs a number");
+                    return ExitCode::from(2);
+                };
+                match value.parse::<usize>() {
+                    Ok(n) => threads = n,
+                    Err(_) => {
+                        eprintln!("campaign gate: invalid thread count \"{value}\"");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--tolerance" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign gate: --tolerance needs a fraction (e.g. 0.30)");
+                    return ExitCode::from(2);
+                };
+                match value.parse::<f64>() {
+                    Ok(t) => tolerance = t,
+                    Err(_) => {
+                        eprintln!("campaign gate: invalid tolerance \"{value}\"");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign gate: --baseline needs a path");
+                    return ExitCode::from(2);
+                };
+                baseline = Some(PathBuf::from(value));
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("campaign gate: unknown option \"{flag}\"\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            value => {
+                if name.is_some() {
+                    eprintln!("campaign gate: exactly one scenario name expected");
+                    return ExitCode::from(2);
+                }
+                name = Some(value.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("campaign gate: missing scenario name (e.g. bench_frame_loop)\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let profile = profile.unwrap_or_else(BenchProfile::from_env);
+    match gate::run_gate(&name, profile, threads, tolerance, baseline.as_deref()) {
+        Ok(report) => {
+            println!();
+            for check in &report.checks {
+                println!("{check}");
+            }
+            println!();
+            if report.passed() {
+                println!(
+                    "gate {name}: PASS ({} checks within tolerance {tolerance})",
+                    report.checks.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "gate {name}: FAIL ({}/{} checks out of tolerance {tolerance})",
+                    report.failures(),
+                    report.checks.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("campaign gate: {e}");
+            ExitCode::from(2)
         }
     }
 }

@@ -1,0 +1,642 @@
+//! The benchmark regression gate: `campaign gate <entry>`.
+//!
+//! The gate re-runs a registry entry and machine-compares the fresh results
+//! against the committed baseline under `results/`, emitting a pass/fail
+//! report CI can consume (exit 0 / nonzero).  Two entry shapes are gated:
+//!
+//! * **`bench_frame_loop`** — the committed perf baseline
+//!   `results/BENCH_frame_loop.json` (always a standard-profile record; the
+//!   gate refuses a baseline recorded under any other profile, which is the
+//!   symptom of an accidental overwrite).  The gate measures fresh
+//!   frames-per-second figures with several wall-clock repetitions and —
+//!   matching the baseline's own best-of-reps definition — fails a
+//!   combination only when its best fps, credited with the 95 % CI
+//!   half-width of the repetitions, still falls short of
+//!   `baseline * (1 - tolerance)`; timing noise alone cannot fail the gate.
+//!   The fresh record is written to `results/GATE_frame_loop.json` (never
+//!   the committed baseline path).
+//! * **Sweep campaigns** — any sweep entry whose primary CSV exists at the
+//!   baseline path (by default `results/<output>` from an earlier
+//!   `campaign run`).  The fresh run must reproduce every row key —
+//!   coordinates *and* replication count, so a baseline generated under
+//!   different grids or a different replication policy (the usual symptoms
+//!   of a profile mismatch) is an error rather than a bogus comparison —
+//!   and each headline metric must agree within
+//!   `atol + rtol·|baseline| + ci95(baseline) + ci95(fresh)`, the
+//!   per-metric tolerance informed by both confidence intervals.
+//!
+//! All comparison logic is pure (string/number in, report out) so the
+//! regression tests drive it with synthetic baselines.
+
+use crate::artifacts::{
+    bench_frame_loop_file, measure, mode_label, reference_config, BENCH_PROTOCOLS,
+};
+use crate::{output_dir, registry, write_output, BaselineWrite, BenchProfile};
+use charisma::radio::ChannelMode;
+use charisma::{CampaignRun, Json};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Default allowed relative regression before the gate fails (30 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Wall-clock repetitions per (protocol, mode) in a gate measurement: enough
+/// for a Student-t interval over the fps samples without slowing CI.
+const GATE_FPS_REPS: u32 = 3;
+
+/// Absolute slack when comparing sweep metrics (absorbs CSV rounding: the
+/// renderer prints 6 decimals, so half a ULP of the last printed digit).
+const SWEEP_ATOL: f64 = 5e-7;
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// What was compared (e.g. `CHARISMA/lazy frames_per_second`).
+    pub metric: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value (best-of-reps fps for the bench gate —
+    /// matching the baseline's definition — and a replication mean for
+    /// sweep gates).
+    pub fresh: f64,
+    /// The worst fresh value the gate would still accept.
+    pub allowed: f64,
+    /// Whether the check passed.
+    pub passed: bool,
+}
+
+impl fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<42} baseline {:>14.3}  fresh {:>14.3}  allowed {:>14.3}  {}",
+            self.metric,
+            self.baseline,
+            self.fresh,
+            self.allowed,
+            if self.passed { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// The outcome of one gate invocation.
+#[derive(Debug)]
+pub struct GateReport {
+    /// The gated registry entry.
+    pub entry: String,
+    /// Every comparison performed.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.passed).count()
+    }
+}
+
+// --- bench_frame_loop baseline --------------------------------------------
+
+/// One (protocol, mode) row of the committed frame-loop baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// Protocol label (e.g. `CHARISMA`).
+    pub protocol: String,
+    /// Channel mode label (`lazy` / `eager`).
+    pub mode: String,
+    /// Recorded frames per second.
+    pub frames_per_second: f64,
+}
+
+/// The parsed committed frame-loop baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// The profile the baseline was recorded under.
+    pub profile: String,
+    /// The recorded (protocol, mode) measurements.
+    pub runs: Vec<BaselineRun>,
+}
+
+/// Parses a `charisma.bench_frame_loop.v1` record.
+pub fn parse_bench_baseline(text: &str) -> Result<BenchBaseline, String> {
+    let json = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "charisma.bench_frame_loop.v1" {
+        return Err(format!(
+            "baseline schema is \"{schema}\", expected \"charisma.bench_frame_loop.v1\""
+        ));
+    }
+    let profile = json
+        .get("profile")
+        .and_then(Json::as_str)
+        .ok_or("baseline is missing the \"profile\" field")?
+        .to_string();
+    let runs = json
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("baseline is missing the \"runs\" array")?
+        .iter()
+        .map(|r| {
+            Ok(BaselineRun {
+                protocol: r
+                    .get("protocol")
+                    .and_then(Json::as_str)
+                    .ok_or("baseline run is missing \"protocol\"")?
+                    .to_string(),
+                mode: r
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or("baseline run is missing \"mode\"")?
+                    .to_string(),
+                frames_per_second: r
+                    .get("frames_per_second")
+                    .and_then(Json::as_f64)
+                    .ok_or("baseline run is missing \"frames_per_second\"")?,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(|e| e.to_string())?;
+    if runs.is_empty() {
+        return Err("baseline \"runs\" array is empty".into());
+    }
+    Ok(BenchBaseline { profile, runs })
+}
+
+/// Checks one fps figure against its baseline: the fresh figure (best-of-reps
+/// fps, like the baseline records), credited with the 95 % CI half-width of
+/// its repetitions, must reach `baseline * (1 - tolerance)`.
+pub fn check_fps(
+    metric: impl Into<String>,
+    baseline_fps: f64,
+    fresh_fps: f64,
+    fresh_ci95: f64,
+    tolerance: f64,
+) -> GateCheck {
+    let allowed = baseline_fps * (1.0 - tolerance);
+    GateCheck {
+        metric: metric.into(),
+        baseline: baseline_fps,
+        fresh: fresh_fps,
+        allowed,
+        passed: fresh_fps + fresh_ci95 >= allowed,
+    }
+}
+
+// --- sweep-campaign CSV comparison ----------------------------------------
+
+/// One parsed row of the uniform campaign CSV.
+#[derive(Debug, Clone)]
+struct CsvRow {
+    key: String,
+    metrics: [(f64, f64); 3], // (mean, ci95) per headline metric
+}
+
+/// The headline-metric column names, in CSV order.
+const METRIC_NAMES: [&str; 3] = [
+    "voice_loss_rate",
+    "data_throughput_per_frame",
+    "data_delay_s",
+];
+
+fn parse_campaign_csv(which: &str, text: &str) -> Result<Vec<CsvRow>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    if header != CampaignRun::CSV_HEADER {
+        return Err(format!(
+            "{which} CSV header does not match the current campaign schema \
+             (regenerate the baseline with `campaign run`): got \"{header}\""
+        ));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 14 {
+            return Err(format!(
+                "{which} CSV row {} has {} fields, expected 14: \"{line}\"",
+                i + 2,
+                fields.len()
+            ));
+        }
+        let num = |idx: usize| -> Result<f64, String> {
+            fields[idx]
+                .parse::<f64>()
+                .map_err(|_| format!("{which} CSV row {}: bad number \"{}\"", i + 2, fields[idx]))
+        };
+        rows.push(CsvRow {
+            // Everything up to and including the replication count
+            // identifies the point: replications are deterministic for a
+            // given (campaign, profile), so a reps difference — like a grid
+            // difference — is the signature of comparing different
+            // profiles, not a metric regression.
+            key: fields[..8].join(","),
+            metrics: [
+                (num(8)?, num(9)?),
+                (num(10)?, num(11)?),
+                (num(12)?, num(13)?),
+            ],
+        });
+    }
+    Ok(rows)
+}
+
+/// Compares a fresh campaign CSV against a baseline CSV of the same schema.
+///
+/// Produces one [`GateCheck`] per headline metric, reporting the worst
+/// deviation relative to its allowance across all rows.  Errors (rather than
+/// failing checks) when the row sets differ — the signature of comparing
+/// runs from different profiles or grids.
+pub fn compare_campaign_csv(
+    baseline_csv: &str,
+    fresh_csv: &str,
+    tolerance: f64,
+) -> Result<Vec<GateCheck>, String> {
+    let baseline = parse_campaign_csv("baseline", baseline_csv)?;
+    let fresh = parse_campaign_csv("fresh", fresh_csv)?;
+    if baseline.len() != fresh.len() {
+        return Err(format!(
+            "baseline and fresh row sets differ ({} vs {} rows) — the baseline was \
+             generated with a different profile or grid; re-run `campaign run` at the \
+             gate's profile to refresh it",
+            baseline.len(),
+            fresh.len()
+        ));
+    }
+    if let Some((b, f)) = baseline.iter().zip(&fresh).find(|(b, f)| b.key != f.key) {
+        return Err(format!(
+            "baseline and fresh row sets differ: first divergence at baseline row \
+             \"{}\" vs fresh row \"{}\" (key = coordinates + replication count) — the \
+             baseline was generated with a different profile, grid or replication \
+             policy; re-run `campaign run` at the gate's profile to refresh it",
+            b.key, f.key
+        ));
+    }
+    let mut checks: Vec<GateCheck> = METRIC_NAMES
+        .iter()
+        .map(|name| GateCheck {
+            metric: format!("{name} (worst row: none out of tolerance)"),
+            baseline: 0.0,
+            fresh: 0.0,
+            allowed: 0.0,
+            passed: true,
+        })
+        .collect();
+    // Track the worst deviation-to-allowance ratio per metric.
+    let mut worst = [0.0f64; 3];
+    for (b, f) in baseline.iter().zip(&fresh) {
+        for m in 0..3 {
+            let (b_mean, b_ci) = b.metrics[m];
+            let (f_mean, f_ci) = f.metrics[m];
+            let allowance = SWEEP_ATOL + tolerance * b_mean.abs() + b_ci + f_ci;
+            let deviation = (f_mean - b_mean).abs();
+            let ratio = deviation / allowance;
+            if ratio > worst[m] {
+                worst[m] = ratio;
+                checks[m] = GateCheck {
+                    metric: format!("{} (worst row: {})", METRIC_NAMES[m], b.key),
+                    baseline: b_mean,
+                    fresh: f_mean,
+                    allowed: allowance,
+                    passed: deviation <= allowance,
+                };
+            }
+        }
+    }
+    Ok(checks)
+}
+
+// --- the gate driver ------------------------------------------------------
+
+/// Runs the gate for `name` and returns the report, or an infrastructure
+/// error (unknown entry, missing/corrupt baseline, profile mismatch).
+pub fn run_gate(
+    name: &str,
+    profile: BenchProfile,
+    threads: usize,
+    tolerance: f64,
+    baseline_override: Option<&Path>,
+) -> Result<GateReport, String> {
+    if !(tolerance.is_finite() && (0.0..1.0).contains(&tolerance)) {
+        return Err(format!(
+            "gate tolerance must be a fraction in [0, 1), got {tolerance}"
+        ));
+    }
+    if name == "bench_frame_loop" {
+        return gate_bench_frame_loop(tolerance, baseline_override);
+    }
+    let entry = registry::find(name).ok_or_else(|| {
+        format!(
+            "unknown scenario \"{name}\" — registered scenarios: {}",
+            registry::names().join(", ")
+        )
+    })?;
+    let campaign = registry::build_campaign(name, profile).ok_or_else(|| {
+        format!(
+            "\"{name}\" is a bespoke artifact without a gateable baseline \
+             (gateable: bench_frame_loop and every sweep campaign)"
+        )
+    })?;
+    let baseline_path = baseline_override
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| output_dir().join(entry.outputs[0]));
+    let baseline_csv = read_baseline(&baseline_path, &format!("campaign run {name}"))?;
+    println!(
+        "gate {name}: re-running {} sweep points [{} profile] against {}",
+        campaign
+            .expand(profile.budget())
+            .map(|p| p.len())
+            .unwrap_or(0),
+        profile.label(),
+        baseline_path.display()
+    );
+    let fresh = campaign
+        .run_replicated(profile.budget(), profile.replications(), threads)
+        .map_err(|e| e.to_string())?
+        .to_csv();
+    let checks = compare_campaign_csv(&baseline_csv, &fresh, tolerance)?;
+    Ok(GateReport {
+        entry: name.to_string(),
+        checks,
+    })
+}
+
+fn read_baseline(path: &Path, regenerate_hint: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing baseline {}: {e} (regenerate it deliberately with `{regenerate_hint}`)",
+            path.display()
+        )
+    })
+}
+
+fn gate_bench_frame_loop(
+    tolerance: f64,
+    baseline_override: Option<&Path>,
+) -> Result<GateReport, String> {
+    let baseline_path = baseline_override.map(Path::to_path_buf).unwrap_or_else(|| {
+        output_dir().join(bench_frame_loop_file(
+            BenchProfile::Standard,
+            BaselineWrite::Allowed,
+        ))
+    });
+    let text = read_baseline(
+        &baseline_path,
+        "campaign run bench_frame_loop --profile standard",
+    )?;
+    let baseline =
+        parse_bench_baseline(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    if baseline.profile != BenchProfile::Standard.label() {
+        return Err(format!(
+            "{}: baseline records profile \"{}\" but the committed baseline must be a \
+             standard-profile record — it was probably overwritten by a quick run; restore \
+             it from git or regenerate it deliberately with \
+             `campaign run bench_frame_loop --profile standard`",
+            baseline_path.display(),
+            baseline.profile
+        ));
+    }
+
+    println!(
+        "gate bench_frame_loop: fresh measurement of the standard reference scenario \
+         ({GATE_FPS_REPS} repetitions per combination) vs {}",
+        baseline_path.display()
+    );
+    // Always measure the scenario the baseline recorded (the standard
+    // reference config, ~0.2 s per repetition in release builds): comparing
+    // a shorter quick run against a standard baseline would fold the
+    // systematic warm-up amortisation difference into the tolerance budget
+    // and leave less headroom for real regressions.  `--profile` still
+    // selects the run length of sweep-entry gates.
+    let config = reference_config(BenchProfile::Standard);
+    let mut checks = Vec::new();
+    let mut fresh_rows = Vec::new();
+    for protocol in BENCH_PROTOCOLS {
+        for mode in [ChannelMode::Eager, ChannelMode::Lazy] {
+            let baseline_fps = baseline
+                .runs
+                .iter()
+                .find(|r| r.protocol == protocol.label() && r.mode == mode_label(mode))
+                .map(|r| r.frames_per_second)
+                .ok_or_else(|| {
+                    format!(
+                        "baseline has no run for {}/{}",
+                        protocol.label(),
+                        mode_label(mode)
+                    )
+                })?;
+            let m = measure(&config, protocol, mode, GATE_FPS_REPS);
+            // The baseline records best-of-reps fps, so compare best against
+            // best; the CI half-width of the per-repetition samples is
+            // credited on top so a noisy machine cannot fail the gate on its
+            // own.
+            checks.push(check_fps(
+                format!(
+                    "{}/{} frames_per_second",
+                    protocol.label(),
+                    mode_label(mode)
+                ),
+                baseline_fps,
+                m.frames_per_second,
+                m.fps.ci95_half_width(),
+                tolerance,
+            ));
+            fresh_rows.push(format!(
+                concat!(
+                    "    {{\"protocol\": \"{}\", \"mode\": \"{}\", \"reps\": {}, ",
+                    "\"fps_best\": {:.1}, \"fps_mean\": {:.1}, \"fps_ci95\": {:.1}, ",
+                    "\"baseline_fps\": {:.1}, \"passed\": {}}}"
+                ),
+                protocol.label(),
+                mode_label(mode),
+                m.reps,
+                m.frames_per_second,
+                m.fps.mean(),
+                m.fps.ci95_half_width(),
+                baseline_fps,
+                checks.last().map(|c| c.passed).unwrap_or(false)
+            ));
+        }
+    }
+    let report = GateReport {
+        entry: "bench_frame_loop".into(),
+        checks,
+    };
+    // A machine-readable record for CI artifacts; deliberately a different
+    // path and schema than the committed baseline, which the gate never
+    // touches.
+    let record = format!(
+        "{{\n  \"schema\": \"charisma.bench_gate.v1\",\n  \"profile\": \"{}\",\n  \
+         \"tolerance\": {tolerance},\n  \"passed\": {},\n  \"checks\": [\n{}\n  ]\n}}\n",
+        BenchProfile::Standard.label(),
+        report.passed(),
+        fresh_rows.join(",\n"),
+    );
+    write_output("GATE_frame_loop.json", &record).map_err(|e| e.to_string())?;
+    Ok(report)
+}
+
+/// The gate's target for `name`: what baseline file it compares against.
+pub fn default_baseline_file(name: &str) -> Option<PathBuf> {
+    if name == "bench_frame_loop" {
+        return Some(output_dir().join(bench_frame_loop_file(
+            BenchProfile::Standard,
+            BaselineWrite::Allowed,
+        )));
+    }
+    registry::find(name).map(|e| output_dir().join(e.outputs[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_baseline(profile: &str, charisma_lazy_fps: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "charisma.bench_frame_loop.v1",
+  "profile": "{profile}",
+  "scenario": {{"num_voice": 60, "num_data": 10}},
+  "runs": [
+    {{"protocol": "CHARISMA", "mode": "eager", "reps": 3, "frames_per_second": 100000.0}},
+    {{"protocol": "CHARISMA", "mode": "lazy", "reps": 3, "frames_per_second": {charisma_lazy_fps}}},
+    {{"protocol": "D-TDMA/VR", "mode": "eager", "reps": 3, "frames_per_second": 110000.0}},
+    {{"protocol": "D-TDMA/VR", "mode": "lazy", "reps": 3, "frames_per_second": 450000.0}}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn baseline_parses_and_rejects_wrong_schemas() {
+        let ok = parse_bench_baseline(&synthetic_baseline("standard", 300000.0)).unwrap();
+        assert_eq!(ok.profile, "standard");
+        assert_eq!(ok.runs.len(), 4);
+        assert_eq!(ok.runs[1].frames_per_second, 300000.0);
+
+        assert!(parse_bench_baseline("not json").is_err());
+        let wrong_schema = synthetic_baseline("standard", 1.0)
+            .replace("charisma.bench_frame_loop.v1", "charisma.other.v9");
+        let e = parse_bench_baseline(&wrong_schema).unwrap_err();
+        assert!(e.contains("schema"), "{e}");
+        let no_runs = r#"{"schema": "charisma.bench_frame_loop.v1", "profile": "standard",
+                          "runs": []}"#;
+        assert!(parse_bench_baseline(no_runs).is_err());
+    }
+
+    #[test]
+    fn fps_check_tolerance_edge() {
+        // Exactly at the 30 % floor: passes.
+        let edge = check_fps("m", 100_000.0, 70_000.0, 0.0, 0.30);
+        assert!(edge.passed, "{edge}");
+        // Just below without CI slack: fails.
+        let below = check_fps("m", 100_000.0, 69_999.0, 0.0, 0.30);
+        assert!(!below.passed, "{below}");
+        // The same point passes once the CI half-width covers the gap —
+        // noise alone cannot fail the gate.
+        let noisy = check_fps("m", 100_000.0, 69_999.0, 5_000.0, 0.30);
+        assert!(noisy.passed, "{noisy}");
+        // A faster fresh run is never a failure.
+        assert!(check_fps("m", 100_000.0, 250_000.0, 0.0, 0.30).passed);
+    }
+
+    #[test]
+    fn gate_errors_on_a_missing_baseline() {
+        let missing = Path::new("/nonexistent/definitely/missing/BENCH.json");
+        let e = run_gate(
+            "bench_frame_loop",
+            BenchProfile::Quick,
+            1,
+            DEFAULT_TOLERANCE,
+            Some(missing),
+        )
+        .unwrap_err();
+        assert!(e.contains("missing baseline"), "{e}");
+        assert!(e.contains("--profile standard"), "{e}");
+    }
+
+    #[test]
+    fn gate_refuses_a_non_standard_profile_baseline() {
+        let dir = std::env::temp_dir().join(format!(
+            "charisma-gate-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_frame_loop.json");
+        std::fs::write(&path, synthetic_baseline("quick", 300000.0)).unwrap();
+        let e = run_gate(
+            "bench_frame_loop",
+            BenchProfile::Quick,
+            1,
+            DEFAULT_TOLERANCE,
+            Some(&path),
+        )
+        .unwrap_err();
+        assert!(e.contains("profile \"quick\""), "{e}");
+        assert!(e.contains("standard-profile"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_rejects_nonsense_tolerances_and_unknown_entries() {
+        for bad in [-0.1, 1.0, f64::NAN, f64::INFINITY] {
+            assert!(run_gate("bench_frame_loop", BenchProfile::Quick, 1, bad, None).is_err());
+        }
+        let e = run_gate("fig99", BenchProfile::Quick, 1, 0.3, None).unwrap_err();
+        assert!(e.contains("fig99"), "{e}");
+        let e = run_gate("table1", BenchProfile::Quick, 1, 0.3, None).unwrap_err();
+        assert!(e.contains("bespoke"), "{e}");
+    }
+
+    fn sweep_csv(rows: &[&str]) -> String {
+        let mut out = String::from(CampaignRun::CSV_HEADER);
+        out.push('\n');
+        for r in rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_comparison_passes_on_identical_csv_and_fails_on_perturbation() {
+        let base = sweep_csv(&[
+            "fig11,CHARISMA,false,20,0,50.00,20,3,0.001000,0.000200,0.000000,0.000000,0.000000,0.000000",
+            "fig11,CHARISMA,false,60,0,50.00,60,3,0.012000,0.001000,0.000000,0.000000,0.000000,0.000000",
+        ]);
+        let same = compare_campaign_csv(&base, &base, 0.30).unwrap();
+        assert_eq!(same.len(), 3);
+        assert!(same.iter().all(|c| c.passed), "{same:?}");
+
+        // Perturb the second row's loss far beyond tolerance + both CIs.
+        let perturbed = base.replace("0.012000,0.001000", "0.050000,0.001000");
+        let checks = compare_campaign_csv(&base, &perturbed, 0.30).unwrap();
+        assert!(!checks[0].passed, "voice loss must fail: {checks:?}");
+        assert!(checks[1].passed && checks[2].passed);
+        assert!(checks[0].metric.contains("fig11,CHARISMA,false,60"));
+
+        // A deviation inside mean-tolerance + CI slack passes.
+        let wiggled = base.replace("0.012000,0.001000", "0.014000,0.001000");
+        let checks = compare_campaign_csv(&base, &wiggled, 0.30).unwrap();
+        assert!(checks[0].passed, "{checks:?}");
+    }
+
+    #[test]
+    fn sweep_comparison_errors_on_row_set_mismatch_and_bad_schema() {
+        let base =
+            sweep_csv(&["fig11,CHARISMA,false,20,0,50.00,20,3,0.001,0.0002,0.0,0.0,0.0,0.0"]);
+        let other =
+            sweep_csv(&["fig11,CHARISMA,false,40,0,50.00,40,3,0.001,0.0002,0.0,0.0,0.0,0.0"]);
+        let e = compare_campaign_csv(&base, &other, 0.3).unwrap_err();
+        assert!(e.contains("row sets differ"), "{e}");
+
+        let stale = "scenario,protocol,old_columns\nx,y,z\n";
+        let e = compare_campaign_csv(stale, &base, 0.3).unwrap_err();
+        assert!(e.contains("schema"), "{e}");
+    }
+}

@@ -27,13 +27,34 @@
 //! (`--profile` or `CHARISMA_BENCH_PROFILE=quick|standard|full`; an
 //! unrecognised value is an error, not a silent default).
 
-use charisma::{FrameBudget, SimConfig};
+use charisma::{FrameBudget, ReplicationPolicy, SimConfig};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 pub mod artifacts;
+pub mod gate;
 pub mod registry;
+
+/// Whether a run may refresh committed baseline files under `results/`.
+///
+/// The committed frame-loop baseline (`results/BENCH_frame_loop.json`) is
+/// the reference the CI regression gate compares against, so regenerating it
+/// must be a deliberate act: only an **explicitly named** standard-profile
+/// run (`campaign run bench_frame_loop --profile standard`, or the
+/// `bench_frame_loop` wrapper binary) writes it.  Bulk runs
+/// (`campaign run all`) and non-standard profiles are routed to untracked
+/// sidecar files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineWrite {
+    /// The entry was named explicitly: a standard-profile run refreshes the
+    /// committed baseline.
+    Allowed,
+    /// The entry runs as part of a bulk `run all`: baseline output is routed
+    /// to an untracked sidecar file so the committed baseline can never be
+    /// clobbered incidentally.
+    Sidecar,
+}
 
 /// How long each sweep point simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +139,22 @@ impl BenchProfile {
         FrameBudget {
             warmup: self.warmup_frames(),
             measured: self.measured_frames(),
+        }
+    }
+
+    /// The default replication policy per sweep point under this profile
+    /// (specs may override it via their `replications` field).
+    ///
+    /// Quick runs a fixed 3 replications — enough for a confidence interval
+    /// without blowing the smoke-run budget.  Standard and full enable the
+    /// sequential stopping rule: replications keep accumulating (up to the
+    /// cap) until every headline metric's relative 95 % CI half-width is
+    /// below the target.
+    pub fn replications(self) -> ReplicationPolicy {
+        match self {
+            BenchProfile::Quick => ReplicationPolicy::fixed(3),
+            BenchProfile::Standard => ReplicationPolicy::adaptive(3, 6, 0.10),
+            BenchProfile::Full => ReplicationPolicy::adaptive(5, 10, 0.05),
         }
     }
 }
@@ -210,6 +247,25 @@ mod tests {
                 "error must list the valid choices, got {e:?}"
             );
         }
+    }
+
+    #[test]
+    fn profile_replication_policies_are_valid_and_scale_up() {
+        for p in BenchProfile::ALL {
+            p.replications().validate().unwrap();
+        }
+        assert_eq!(BenchProfile::Quick.replications().min_reps, 3);
+        assert!(BenchProfile::Quick.replications().target_rel_ci95.is_none());
+        assert!(
+            BenchProfile::Full.replications().min_reps
+                >= BenchProfile::Standard.replications().min_reps
+        );
+        let std_target = BenchProfile::Standard
+            .replications()
+            .target_rel_ci95
+            .unwrap();
+        let full_target = BenchProfile::Full.replications().target_rel_ci95.unwrap();
+        assert!(full_target < std_target, "full demands tighter intervals");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! manifest (`results/MANIFEST.json`) and the generated section of the
 //! reproduction handbook (`EXPERIMENTS.md`).
 
-use crate::{artifacts, fig11_voice_counts, fig12_data_counts, write_output, BenchProfile};
+use crate::{
+    artifacts, fig11_voice_counts, fig12_data_counts, write_output, BaselineWrite, BenchProfile,
+};
 use charisma::metrics::capacity_at_threshold;
 use charisma::radio::SpeedProfile;
 use charisma::spec::{Axis, QueueToggle, RampSpec, ScenarioSpec};
@@ -38,8 +40,11 @@ pub enum EntryKind {
     },
     /// A bespoke artifact generator (no sweep shape).
     Custom {
-        /// Runs the generator; returns the files it wrote.
-        run: fn(BenchProfile) -> Vec<PathBuf>,
+        /// Runs the generator; returns the files it wrote.  The
+        /// [`BaselineWrite`] context tells it whether committed baseline
+        /// files may be refreshed (explicit run) or must be routed to
+        /// sidecars (bulk `run all`).
+        run: fn(BenchProfile, BaselineWrite) -> Vec<PathBuf>,
     },
 }
 
@@ -71,6 +76,9 @@ pub struct EntryReport {
     pub name: &'static str,
     /// Sweep points executed (0 for bespoke artifacts).
     pub points: usize,
+    /// Total replications executed across all sweep points (0 for bespoke
+    /// artifacts; equals `points` for single-replication runs).
+    pub replications: u64,
     /// Distinct master seeds used by the sweep points.
     pub seeds: Vec<u64>,
     /// Files written.
@@ -210,16 +218,20 @@ fn data_heavy_campaign(profile: BenchProfile) -> Campaign {
 
 // --- rendering helpers ----------------------------------------------------
 
+// The rendered tables and capacity searches all consume the
+// across-replication means (with a single replication these equal the lone
+// run's metrics, so the quick smoke paths are unchanged in shape).
+
 fn loss(r: &CampaignRow) -> f64 {
-    r.report.voice_loss_rate()
+    r.voice_loss_mean()
 }
 
 fn throughput(r: &CampaignRow) -> f64 {
-    r.report.data_throughput_per_frame()
+    r.data_throughput_mean()
 }
 
 fn delay(r: &CampaignRow) -> f64 {
-    r.report.data_delay_secs()
+    r.data_delay_mean()
 }
 
 fn pct(v: f64) -> String {
@@ -452,8 +464,8 @@ fn render_qos_capacity(run: &CampaignRun) -> Vec<Artifact> {
     // A point satisfies the QoS level when the mean delay is below 1 s AND
     // the per-user throughput is still ~the offered 0.25 pkt/frame.
     fn effective_delay(r: &CampaignRow) -> f64 {
-        if r.report.data_throughput_per_user() >= 0.20 {
-            r.report.data_delay_secs()
+        if r.data_throughput_per_user_mean() >= 0.20 {
+            r.data_delay_mean()
         } else {
             f64::MAX
         }
@@ -770,8 +782,11 @@ pub fn entries() -> Vec<Entry> {
             paper: "performance trajectory (not a paper artifact)",
             details: "Runs the reference 60-voice + 10-data scenario under CHARISMA and \
                       D-TDMA/VR with both the eager channel baseline and the lazy hot path, and \
-                      records wall-clock frames per second plus the lazy/eager speedup.  The \
-                      checked-in JSON is the perf record CI cross-checks on every push.",
+                      records wall-clock frames per second plus the lazy/eager speedup.  Only \
+                      an explicitly named standard-profile run writes the committed baseline \
+                      results/BENCH_frame_loop.json; quick/full runs and `run all` go to \
+                      untracked sidecar files, and `campaign gate bench_frame_loop` compares a \
+                      fresh run against the committed baseline (the CI regression gate).",
             outputs: &["BENCH_frame_loop.json"],
             columns: "JSON, schema charisma.bench_frame_loop.v1",
             runtime: "quick ≈ 1 s, standard/full ≈ 5 s (release build, one core)",
@@ -851,7 +866,12 @@ pub fn build_campaign(name: &str, profile: BenchProfile) -> Option<Campaign> {
 
 /// Runs one entry: executes its campaign (or bespoke generator), prints its
 /// tables and writes its artifacts under `results/`.
-pub fn run_entry(name: &str, profile: BenchProfile, threads: usize) -> Result<EntryReport, String> {
+pub fn run_entry(
+    name: &str,
+    profile: BenchProfile,
+    threads: usize,
+    baseline: BaselineWrite,
+) -> Result<EntryReport, String> {
     let entry = find(name).ok_or_else(|| {
         format!(
             "unknown scenario \"{name}\" — registered scenarios: {}",
@@ -869,7 +889,7 @@ pub fn run_entry(name: &str, profile: BenchProfile, threads: usize) -> Result<En
             let campaign = build(profile);
             let started = Instant::now();
             let run = campaign
-                .run(profile.budget(), threads)
+                .run_replicated(profile.budget(), profile.replications(), threads)
                 .map_err(|e| e.to_string())?;
             let artifacts = render(&run);
             let mut outputs = Vec::new();
@@ -878,25 +898,29 @@ pub fn run_entry(name: &str, profile: BenchProfile, threads: usize) -> Result<En
                     write_output(artifact.file, &artifact.contents).map_err(|e| e.to_string())?,
                 );
             }
+            let replications: u64 = run.rows.iter().map(|r| r.reps()).sum();
             println!(
-                "{}: {} sweep points in {:.1} s",
+                "{}: {} sweep points ({} replications) in {:.1} s",
                 entry.name,
                 run.rows.len(),
+                replications,
                 started.elapsed().as_secs_f64()
             );
             Ok(EntryReport {
                 name: entry.name,
                 points: run.rows.len(),
+                replications,
                 seeds: campaign.seeds(),
                 outputs,
                 campaign_json: Some(campaign.to_json()),
             })
         }
         EntryKind::Custom { run } => {
-            let outputs = run(profile);
+            let outputs = run(profile, baseline);
             Ok(EntryReport {
                 name: entry.name,
                 points: 0,
+                replications: 0,
                 seeds: Vec::new(),
                 outputs,
                 campaign_json: None,
@@ -938,6 +962,7 @@ pub fn manifest_json(reports: &[EntryReport], profile: BenchProfile, threads: us
                         Json::Object(vec![
                             ("name".into(), Json::Str(r.name.into())),
                             ("points".into(), Json::Int(r.points as u64)),
+                            ("replications".into(), Json::Int(r.replications)),
                             (
                                 "seeds".into(),
                                 Json::Array(r.seeds.iter().map(|&s| Json::Int(s)).collect()),
@@ -969,9 +994,11 @@ pub fn manifest_json(reports: &[EntryReport], profile: BenchProfile, threads: us
     ])
 }
 
-/// Runs a list of entries and records the provenance manifest
-/// (`results/MANIFEST.json`): spec JSON, profile, seeds, outputs and git
-/// revision of the run.
+/// Runs a list of explicitly named entries and records the provenance
+/// manifest (`results/MANIFEST.json`): spec JSON, profile, seeds, outputs
+/// and git revision of the run.  Explicit naming means committed baselines
+/// may be refreshed ([`BaselineWrite::Allowed`]); bulk `run all` invocations
+/// go through [`run_and_record_with`] with [`BaselineWrite::Sidecar`].
 ///
 /// The manifest is (re)written even when an entry fails partway through, so
 /// the artifacts that *did* land in `results/` are never described by a
@@ -981,10 +1008,20 @@ pub fn run_and_record(
     profile: BenchProfile,
     threads: usize,
 ) -> Result<Vec<EntryReport>, String> {
+    run_and_record_with(run_names, profile, threads, BaselineWrite::Allowed)
+}
+
+/// [`run_and_record`] with an explicit baseline-write context.
+pub fn run_and_record_with(
+    run_names: &[String],
+    profile: BenchProfile,
+    threads: usize,
+    baseline: BaselineWrite,
+) -> Result<Vec<EntryReport>, String> {
     let mut reports = Vec::new();
     let mut failure: Option<String> = None;
     for name in run_names {
-        match run_entry(name, profile, threads) {
+        match run_entry(name, profile, threads, baseline) {
             Ok(report) => reports.push(report),
             Err(e) => {
                 failure = Some(format!("{name}: {e}"));
@@ -1060,18 +1097,25 @@ pub fn handbook_document() -> String {
          ```\n\
          \n\
          The sweep-shaped experiments are declarative `ScenarioSpec`s (protocol set,\n\
-         voice/data user grids, speed profile, channel mode, duration, seed) expanded\n\
-         onto the deterministic parallel sweep executor; `describe <name>` prints the\n\
-         exact spec JSON.  Run length per sweep point is set by the profile\n\
-         (`--profile` or `CHARISMA_BENCH_PROFILE`): `quick` ≈ 10 simulated seconds per\n\
-         point for smoke runs, `standard` ≈ 40 s for day-to-day curves, `full` ≈ 100 s\n\
-         for paper-quality statistics.  Unrecognised profile values are an error.\n\
+         voice/data user grids, speed profile, channel mode, duration, replications,\n\
+         seed) expanded onto the deterministic parallel sweep executor;\n\
+         `describe <name>` prints the exact spec JSON.  Run length per sweep point is\n\
+         set by the profile (`--profile` or `CHARISMA_BENCH_PROFILE`): `quick` ≈ 10\n\
+         simulated seconds per point for smoke runs, `standard` ≈ 40 s for day-to-day\n\
+         curves, `full` ≈ 100 s for paper-quality statistics.  The profile also sets\n\
+         the replications per sweep point (quick: 3 fixed; standard: 3–6, stopping at\n\
+         a 10 % relative CI target; full: 5–10 at 5 %), and the campaign CSVs report\n\
+         each metric as a mean with its 95 % Student-t confidence half-width.\n\
+         Unrecognised profile values are an error.  `campaign gate <name>` re-runs an\n\
+         entry and compares it against its committed baseline under `results/` (the\n\
+         CI benchmark regression gate).\n\
          \n\
          Every invocation of `campaign run` writes `results/MANIFEST.json` recording\n\
-         the executed specs, profile, seeds, output files and git revision.  Runs are\n\
-         deterministic: the same (spec, profile) pair produces byte-identical CSVs on\n\
-         every machine, at every sweep thread count (`tests/determinism.rs` pins\n\
-         this).  All commands below are run from the repository root.\n\
+         the executed specs, profile, seeds, replication counts, output files and git\n\
+         revision.  Runs are deterministic: the same (spec, profile) pair produces\n\
+         byte-identical CSVs on every machine, at every sweep thread count\n\
+         (`tests/determinism.rs` pins this).  All commands below are run from the\n\
+         repository root.\n\
          \n\
          The scenario sections between the markers are generated — regenerate with:\n\
          \n\
@@ -1217,7 +1261,7 @@ mod tests {
 
     #[test]
     fn unknown_entries_error_with_the_valid_names() {
-        let e = run_entry("fig99", BenchProfile::Quick, 1).unwrap_err();
+        let e = run_entry("fig99", BenchProfile::Quick, 1, BaselineWrite::Allowed).unwrap_err();
         assert!(e.contains("fig99"));
         assert!(e.contains("fig11"), "error should list the registry: {e}");
     }
@@ -1227,6 +1271,7 @@ mod tests {
         let reports = vec![EntryReport {
             name: "fig11",
             points: 3,
+            replications: 9,
             seeds: vec![1, 2],
             outputs: vec![PathBuf::from("results/fig11_voice_loss.csv")],
             campaign_json: Some(Json::Null),
@@ -1240,6 +1285,10 @@ mod tests {
         assert_eq!(m.get("threads").and_then(Json::as_u64), Some(4));
         let entries = m.get("entries").and_then(Json::as_array).unwrap();
         assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("replications").and_then(Json::as_u64),
+            Some(9)
+        );
         assert_eq!(
             entries[0].get("outputs").and_then(Json::as_array).unwrap()[0].as_str(),
             Some("fig11_voice_loss.csv")

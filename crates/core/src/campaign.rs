@@ -1,20 +1,24 @@
 //! Campaigns: named collections of [`ScenarioSpec`]s that expand into one
 //! flat list of sweep points and execute on the deterministic parallel sweep
-//! workers ([`run_sweep`]).
+//! workers ([`run_sweep_replicated`]).
 //!
 //! A campaign is the unit the benchmark registry runs: `fig11` is a campaign
 //! of one spec (all six protocols x three data populations x two queue
 //! variants x the voice-user grid), the CSI ablation is a campaign of three
 //! specs, and so on.  The result — a [`CampaignRun`] — renders to a single
 //! uniform CSV schema ([`CampaignRun::CSV_HEADER`]) whose bytes are a pure
-//! function of (campaign, frame budget): byte-identical across repeats and
-//! across sweep thread counts, which `tests/determinism.rs` pins.
+//! function of (campaign, frame budget, replication policy): byte-identical
+//! across repeats and across sweep thread counts, which
+//! `tests/determinism.rs` pins.  Under a replication policy every sweep
+//! point runs several independent replications on seed streams derived from
+//! the point seed, and the CSV metric columns become means with 95 %
+//! Student-t confidence half-widths.
 
 use crate::json::Json;
 use crate::spec::{CampaignPoint, FrameBudget, ScenarioSpec, SpecError};
-use crate::sweep::run_sweep;
+use crate::sweep::{run_sweep_replicated, ReplicationPolicy};
 use crate::RunReport;
-use charisma_metrics::capacity_at_threshold;
+use charisma_metrics::{capacity_at_threshold, RepsAccumulator};
 use serde::{Deserialize, Serialize};
 
 use crate::protocols::ProtocolKind;
@@ -76,17 +80,34 @@ impl Campaign {
         Ok(points)
     }
 
-    /// Runs the campaign on up to `threads` sweep workers (0: one per core).
-    /// Rows come back in expansion order regardless of the thread count.
+    /// Runs the campaign with one replication per point on up to `threads`
+    /// sweep workers (0: one per core) — the historical single-replication
+    /// behaviour, still used by fast tests.
     pub fn run(&self, budget: FrameBudget, threads: usize) -> Result<CampaignRun, SpecError> {
+        self.run_replicated(budget, ReplicationPolicy::SINGLE, threads)
+    }
+
+    /// Runs the campaign with `default_reps` replications per point (specs
+    /// may override it via their `replications` field) on up to `threads`
+    /// sweep workers (0: one per core).  Rows come back in expansion order,
+    /// and — because every point's replications run sequentially inside the
+    /// worker that owns the point — the rendered CSV bytes are identical
+    /// across repeats and across thread counts.
+    pub fn run_replicated(
+        &self,
+        budget: FrameBudget,
+        default_reps: ReplicationPolicy,
+        threads: usize,
+    ) -> Result<CampaignRun, SpecError> {
+        default_reps.validate().map_err(SpecError)?;
         let expanded = self.expand(budget)?;
         let mut metas = Vec::with_capacity(expanded.len());
         let mut points = Vec::with_capacity(expanded.len());
         for p in expanded {
             metas.push((p.scenario, p.speed_kmh));
-            points.push(p.point);
+            points.push((p.point, p.reps.unwrap_or(default_reps)));
         }
-        let results = run_sweep(points, threads);
+        let results = run_sweep_replicated(points, threads);
         let rows = metas
             .into_iter()
             .zip(results)
@@ -99,6 +120,7 @@ impl Campaign {
                 speed_kmh,
                 load: r.load,
                 report: r.report,
+                stats: r.stats,
             })
             .collect();
         Ok(CampaignRun {
@@ -202,8 +224,41 @@ pub struct CampaignRow {
     pub speed_kmh: f64,
     /// The independent variable of the point.
     pub load: f64,
-    /// The full run report.
+    /// Replication 0's full run report (seeded with the point seed itself).
     pub report: RunReport,
+    /// Across-replication statistics of the headline metrics.
+    pub stats: RepsAccumulator,
+}
+
+impl CampaignRow {
+    /// Number of replications behind this row.
+    pub fn reps(&self) -> u64 {
+        self.stats.reps()
+    }
+
+    /// Mean voice packet loss rate across replications.
+    pub fn voice_loss_mean(&self) -> f64 {
+        self.stats.voice_loss().mean()
+    }
+
+    /// Mean data throughput (packets per frame) across replications.
+    pub fn data_throughput_mean(&self) -> f64 {
+        self.stats.data_throughput().mean()
+    }
+
+    /// Mean data throughput per data terminal per frame across replications.
+    pub fn data_throughput_per_user_mean(&self) -> f64 {
+        if self.num_data == 0 {
+            0.0
+        } else {
+            self.data_throughput_mean() / self.num_data as f64
+        }
+    }
+
+    /// Mean data access delay (seconds) across replications.
+    pub fn data_delay_mean(&self) -> f64 {
+        self.stats.data_delay().mean()
+    }
 }
 
 /// The executed campaign: rows in expansion order.
@@ -216,10 +271,15 @@ pub struct CampaignRun {
 }
 
 impl CampaignRun {
-    /// The uniform CSV schema every sweep campaign renders to.
+    /// The uniform CSV schema every sweep campaign renders to.  Metric
+    /// columns are means across the point's replications, each followed by
+    /// the half-width of its 95 % Student-t confidence interval (0 when the
+    /// point ran a single replication).
     pub const CSV_HEADER: &'static str = "scenario,protocol,request_queue,num_voice,num_data,\
-                                          speed_kmh,load,voice_loss_rate,\
-                                          data_throughput_per_frame,data_delay_s";
+                                          speed_kmh,load,reps,\
+                                          voice_loss_rate,voice_loss_ci95,\
+                                          data_throughput_per_frame,data_throughput_ci95,\
+                                          data_delay_s,data_delay_ci95";
 
     /// The CSV data rows (no header), deterministically formatted.
     pub fn csv_rows(&self) -> Vec<String> {
@@ -227,7 +287,7 @@ impl CampaignRun {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{},{:.2},{},{:.6},{:.6},{:.6}",
+                    "{},{},{},{},{},{:.2},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
                     r.scenario,
                     r.protocol.label(),
                     r.request_queue,
@@ -235,9 +295,13 @@ impl CampaignRun {
                     r.num_data,
                     r.speed_kmh,
                     r.load,
-                    r.report.voice_loss_rate(),
-                    r.report.data_throughput_per_frame(),
-                    r.report.data_delay_secs(),
+                    r.reps(),
+                    r.voice_loss_mean(),
+                    r.stats.voice_loss().ci95_half_width(),
+                    r.data_throughput_mean(),
+                    r.stats.data_throughput().ci95_half_width(),
+                    r.data_delay_mean(),
+                    r.stats.data_delay().ci95_half_width(),
                 )
             })
             .collect()
@@ -348,6 +412,40 @@ mod tests {
         let parallel = campaign.run(tiny_budget(), 4).unwrap().to_csv();
         assert_eq!(serial, parallel);
         assert!(serial.starts_with(CampaignRun::CSV_HEADER));
+    }
+
+    #[test]
+    fn replicated_run_accumulates_and_stays_deterministic() {
+        let campaign = tiny_campaign();
+        let policy = ReplicationPolicy::fixed(3);
+        let a = campaign.run_replicated(tiny_budget(), policy, 1).unwrap();
+        let b = campaign.run_replicated(tiny_budget(), policy, 3).unwrap();
+        assert_eq!(a, b, "replicated campaign must not depend on threads");
+        assert!(a.rows.iter().all(|r| r.reps() == 3));
+        // CSV carries the reps column and both CI columns.
+        let csv = a.to_csv();
+        assert!(csv.starts_with(CampaignRun::CSV_HEADER));
+        assert!(CampaignRun::CSV_HEADER.contains("reps,voice_loss_rate,voice_loss_ci95"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                CampaignRun::CSV_HEADER.split(',').count(),
+                "row width must match the header: {line}"
+            );
+            assert_eq!(line.split(',').nth(7), Some("3"), "reps column: {line}");
+        }
+        // A single-replication run is the degenerate case: same report,
+        // zero-width intervals.
+        let single = campaign.run(tiny_budget(), 1).unwrap();
+        for (r3, r1) in a.rows.iter().zip(&single.rows) {
+            assert_eq!(r3.report, r1.report, "replication 0 is the legacy run");
+            assert_eq!(r1.reps(), 1);
+            assert_eq!(r1.stats.voice_loss().ci95_half_width(), 0.0);
+        }
+        // An invalid default policy is rejected up front.
+        assert!(campaign
+            .run_replicated(tiny_budget(), ReplicationPolicy::fixed(0), 1)
+            .is_err());
     }
 
     #[test]

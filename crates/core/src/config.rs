@@ -9,7 +9,7 @@
 //! without / with a request queue at the 1 % loss threshold).  Every value is
 //! printed by the `table1` benchmark binary and recorded in EXPERIMENTS.md.
 
-use charisma_des::{FrameClock, SimDuration};
+use charisma_des::{FrameClock, SimDuration, SplitMix64};
 use charisma_phy::{AdaptivePhyConfig, FixedPhyConfig};
 use charisma_radio::{ChannelConfig, ChannelMode, CsiEstimatorConfig, SpeedProfile};
 use charisma_traffic::{DataSourceConfig, VoiceSourceConfig};
@@ -318,6 +318,29 @@ impl SimConfig {
         self.warmup_frames + self.measured_frames
     }
 
+    /// The master seed of replication `rep` of this configuration.
+    ///
+    /// Replication 0 is the configured seed itself, so a single-replication
+    /// run reproduces the historical (pre-replication-engine) sample path
+    /// bit for bit.  Higher replications derive an independent seed stream
+    /// by mixing the point seed with the replication index through
+    /// SplitMix64 — a pure function of `(seed, rep)`, so the stream is
+    /// byte-identical no matter which sweep worker executes the point or in
+    /// what order the replications of different points interleave.
+    pub fn replication_seed(&self, rep: u32) -> u64 {
+        if rep == 0 {
+            self.seed
+        } else {
+            let mut sm =
+                SplitMix64::new(self.seed ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            // Two rounds, mirroring `RngStreams::derive_seed`: adjacent
+            // replication indices must map to uncorrelated master seeds.
+            let first = sm.next_u64();
+            let mut sm2 = SplitMix64::new(first ^ (rep as u64).rotate_left(23));
+            sm2.next_u64()
+        }
+    }
+
     /// Validates the configuration, panicking with a descriptive message on
     /// the first inconsistency.  Called by the scenario builder before a run.
     pub fn validate(&self) {
@@ -452,6 +475,34 @@ mod tests {
             activation_frame: cfg.total_frames() + 1,
         });
         cfg.validate();
+    }
+
+    #[test]
+    fn replication_zero_is_the_point_seed_itself() {
+        let cfg = SimConfig::default_paper();
+        assert_eq!(cfg.replication_seed(0), cfg.seed);
+    }
+
+    #[test]
+    fn replication_seeds_are_deterministic_and_distinct() {
+        let cfg = SimConfig::default_paper();
+        let seeds: Vec<u64> = (0..32).map(|r| cfg.replication_seed(r)).collect();
+        // Deterministic.
+        assert_eq!(
+            seeds,
+            (0..32).map(|r| cfg.replication_seed(r)).collect::<Vec<_>>()
+        );
+        // Pairwise distinct.
+        for (i, a) in seeds.iter().enumerate() {
+            assert!(
+                !seeds[..i].contains(a),
+                "replications {i} collides with an earlier seed"
+            );
+        }
+        // A different point seed yields a different replication stream.
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(other.replication_seed(1), cfg.replication_seed(1));
     }
 
     #[test]

@@ -62,9 +62,13 @@ pub use json::Json;
 pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
 pub use scenario::{RunReport, Scenario};
 pub use spec::{
-    Axis, CampaignPoint, DurationSpec, FrameBudget, QueueToggle, RampSpec, ScenarioSpec, SpecError,
+    Axis, CampaignPoint, DurationSpec, FrameBudget, QueueToggle, RampSpec, RepsSpec, ScenarioSpec,
+    SpecError,
 };
-pub use sweep::{data_load_sweep, run_sweep, voice_load_sweep, SweepPoint, SweepResult};
+pub use sweep::{
+    data_load_sweep, run_sweep, run_sweep_replicated, voice_load_sweep, ReplicatedResult,
+    ReplicationPolicy, SweepPoint, SweepResult,
+};
 pub use terminal::{FrameTraffic, Terminal};
 pub use world::{DataTx, FrameScratch, FrameWorld, LinkAdaptation, VoiceTx};
 

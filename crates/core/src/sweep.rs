@@ -1,4 +1,4 @@
-//! Multi-threaded parameter sweeps.
+//! Multi-threaded, replication-aware parameter sweeps.
 //!
 //! Every point of a sweep (a protocol × load × queue-variant combination) is
 //! an independent simulation with its own deterministic random streams, so
@@ -7,11 +7,93 @@
 //! scoped worker pool (one worker per available core), and every worker
 //! writes straight into its own cells — no shared lock, no contention, and
 //! results land in the original point order by construction.
+//!
+//! A point may run more than one **replication**: independent repeats of the
+//! same configuration on per-replication seed streams derived from the point
+//! seed ([`SimConfig::replication_seed`]).  All replications of a point run
+//! sequentially inside the worker that owns the point — including the
+//! optional sequential stopping rule of [`ReplicationPolicy`] — so the
+//! replication count and every accumulated statistic are a pure function of
+//! (point, policy), independent of the sweep thread count.
 
 use crate::config::SimConfig;
 use crate::protocols::ProtocolKind;
 use crate::scenario::{RunReport, Scenario};
+use charisma_metrics::RepsAccumulator;
 use serde::{Deserialize, Serialize};
+
+/// How many independent replications each sweep point runs.
+///
+/// `min_reps` replications always run.  When `target_rel_ci95` is set, the
+/// sequential stopping rule then keeps adding replications — one at a time,
+/// up to `max_reps` — until the relative 95 % Student-t confidence half-width
+/// of every headline metric (voice loss, data throughput, data delay) is at
+/// or below the target.  Without a target exactly `min_reps` replications
+/// run and `max_reps` is ignored beyond validation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationPolicy {
+    /// Replications always executed (≥ 1).
+    pub min_reps: u32,
+    /// Hard cap on replications when the stopping rule is active (≥ min).
+    pub max_reps: u32,
+    /// Optional stopping-rule target for the relative CI95 half-width.
+    pub target_rel_ci95: Option<f64>,
+}
+
+impl ReplicationPolicy {
+    /// One replication per point — the historical behaviour of `run_sweep`.
+    pub const SINGLE: ReplicationPolicy = ReplicationPolicy {
+        min_reps: 1,
+        max_reps: 1,
+        target_rel_ci95: None,
+    };
+
+    /// Exactly `reps` replications, no stopping rule.
+    pub fn fixed(reps: u32) -> Self {
+        ReplicationPolicy {
+            min_reps: reps,
+            max_reps: reps,
+            target_rel_ci95: None,
+        }
+    }
+
+    /// `min`..=`max` replications with the sequential stopping rule at
+    /// relative CI95 half-width `target`.
+    pub fn adaptive(min_reps: u32, max_reps: u32, target_rel_ci95: f64) -> Self {
+        ReplicationPolicy {
+            min_reps,
+            max_reps,
+            target_rel_ci95: Some(target_rel_ci95),
+        }
+    }
+
+    /// Validates the policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_reps == 0 {
+            return Err("replication policy needs at least one replication".into());
+        }
+        if self.max_reps < self.min_reps {
+            return Err(format!(
+                "replication max_reps ({}) is below min_reps ({})",
+                self.max_reps, self.min_reps
+            ));
+        }
+        if let Some(t) = self.target_rel_ci95 {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!(
+                    "replication target_rel_ci95 must be a positive finite number, got {t}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        Self::SINGLE
+    }
+}
 
 /// One point of a sweep: a full scenario configuration plus the protocol to
 /// run on it.
@@ -36,9 +118,81 @@ pub struct SweepResult {
     pub report: RunReport,
 }
 
+/// The result of one sweep point executed under a [`ReplicationPolicy`]:
+/// replication 0's full report plus the across-replication accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// The independent variable of the point.
+    pub load: f64,
+    /// The protocol that was simulated.
+    pub protocol: ProtocolKind,
+    /// Replication 0's full report (its seed is the point seed itself, so a
+    /// single-replication sweep reproduces the historical sample path).
+    pub report: RunReport,
+    /// Mean/CI statistics of the headline metrics across all replications.
+    pub stats: RepsAccumulator,
+}
+
+/// Runs one point's replications sequentially, applying the stopping rule.
+fn run_point(point: &SweepPoint, policy: ReplicationPolicy) -> ReplicatedResult {
+    let mut stats = RepsAccumulator::new();
+    let mut first: Option<RunReport> = None;
+    let mut rep: u32 = 0;
+    loop {
+        let mut config = point.config.clone();
+        config.seed = point.config.replication_seed(rep);
+        let report = Scenario::new(config).run(point.protocol);
+        stats.push(&report.metrics);
+        if first.is_none() {
+            first = Some(report);
+        }
+        rep += 1;
+        if rep < policy.min_reps {
+            continue;
+        }
+        match policy.target_rel_ci95 {
+            None => break,
+            Some(target) => {
+                if rep >= policy.max_reps || stats.within_target(target) {
+                    break;
+                }
+            }
+        }
+    }
+    ReplicatedResult {
+        load: point.load,
+        protocol: point.protocol,
+        report: first.expect("at least one replication ran"),
+        stats,
+    }
+}
+
 /// Runs all sweep points, using up to `threads` worker threads (0 ⇒ one per
 /// available core).  Results are returned in the same order as `points`.
 pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
+    let points = points
+        .into_iter()
+        .map(|p| (p, ReplicationPolicy::SINGLE))
+        .collect();
+    run_sweep_replicated(points, threads)
+        .into_iter()
+        .map(|r| SweepResult {
+            load: r.load,
+            protocol: r.protocol,
+            report: r.report,
+        })
+        .collect()
+}
+
+/// Runs all sweep points with their replication policies, using up to
+/// `threads` worker threads (0 ⇒ one per available core).  Results are
+/// returned in the same order as `points`, and — because all replications of
+/// a point run inside the worker that owns the point — are byte-identical
+/// across thread counts.
+pub fn run_sweep_replicated(
+    points: Vec<(SweepPoint, ReplicationPolicy)>,
+    threads: usize,
+) -> Vec<ReplicatedResult> {
     if points.is_empty() {
         return Vec::new();
     }
@@ -54,11 +208,7 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
     if worker_count <= 1 {
         return points
             .into_iter()
-            .map(|p| SweepResult {
-                load: p.load,
-                protocol: p.protocol,
-                report: Scenario::new(p.config).run(p.protocol),
-            })
+            .map(|(point, policy)| run_point(&point, policy))
             .collect();
     }
 
@@ -66,9 +216,12 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
     // workers write results without ever touching a shared lock.  Cells are
     // dealt round-robin, which also interleaves cheap and expensive points
     // (sweeps typically order points by increasing load) across workers.
-    let mut results: Vec<Option<SweepResult>> = (0..points.len()).map(|_| None).collect();
-    let mut buckets: Vec<Vec<(&SweepPoint, &mut Option<SweepResult>)>> =
-        (0..worker_count).map(|_| Vec::new()).collect();
+    type Cell<'a> = (
+        &'a (SweepPoint, ReplicationPolicy),
+        &'a mut Option<ReplicatedResult>,
+    );
+    let mut results: Vec<Option<ReplicatedResult>> = (0..points.len()).map(|_| None).collect();
+    let mut buckets: Vec<Vec<Cell<'_>>> = (0..worker_count).map(|_| Vec::new()).collect();
     for (idx, (point, slot)) in points.iter().zip(results.iter_mut()).enumerate() {
         buckets[idx % worker_count].push((point, slot));
     }
@@ -76,13 +229,8 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
     std::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(move || {
-                for (point, slot) in bucket {
-                    let report = Scenario::new(point.config.clone()).run(point.protocol);
-                    *slot = Some(SweepResult {
-                        load: point.load,
-                        protocol: point.protocol,
-                        report,
-                    });
+                for ((point, policy), slot) in bucket {
+                    *slot = Some(run_point(point, *policy));
                 }
             });
         }
@@ -208,5 +356,109 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         assert!(run_sweep(Vec::new(), 4).is_empty());
+        assert!(run_sweep_replicated(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn replication_policy_validation() {
+        assert!(ReplicationPolicy::SINGLE.validate().is_ok());
+        assert!(ReplicationPolicy::fixed(3).validate().is_ok());
+        assert!(ReplicationPolicy::adaptive(3, 8, 0.1).validate().is_ok());
+        assert!(ReplicationPolicy::fixed(0).validate().is_err());
+        assert!(ReplicationPolicy::adaptive(4, 2, 0.1).validate().is_err());
+        assert!(ReplicationPolicy::adaptive(2, 4, 0.0).validate().is_err());
+        assert!(ReplicationPolicy::adaptive(2, 4, f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn single_policy_reproduces_the_legacy_sweep() {
+        let base = tiny_config();
+        let points = voice_load_sweep(&base, ProtocolKind::Charisma, &[8], 2, false);
+        let legacy = run_sweep(points.clone(), 1);
+        let replicated = run_sweep_replicated(
+            points
+                .into_iter()
+                .map(|p| (p, ReplicationPolicy::SINGLE))
+                .collect(),
+            1,
+        );
+        assert_eq!(replicated.len(), legacy.len());
+        assert_eq!(replicated[0].report, legacy[0].report);
+        assert_eq!(replicated[0].stats.reps(), 1);
+        // With one replication the mean is replication 0's own metric.
+        assert_eq!(
+            replicated[0].stats.voice_loss().mean(),
+            legacy[0].report.voice_loss_rate()
+        );
+        assert_eq!(replicated[0].stats.voice_loss().ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn replications_use_distinct_seed_streams_and_average_them() {
+        let base = tiny_config();
+        let points = voice_load_sweep(&base, ProtocolKind::DTdmaFr, &[30], 2, false);
+        let point = points[0].clone();
+        let results = run_sweep_replicated(vec![(point.clone(), ReplicationPolicy::fixed(3))], 1);
+        let r = &results[0];
+        assert_eq!(r.stats.reps(), 3);
+
+        // The accumulator mean must equal the average of three standalone
+        // runs on the derived replication seeds.
+        let mut manual = 0.0;
+        for rep in 0..3 {
+            let mut cfg = point.config.clone();
+            cfg.seed = point.config.replication_seed(rep);
+            manual += Scenario::new(cfg).run(point.protocol).voice_loss_rate();
+        }
+        manual /= 3.0;
+        assert!(
+            (r.stats.voice_loss().mean() - manual).abs() < 1e-15,
+            "accumulated {} vs manual {}",
+            r.stats.voice_loss().mean(),
+            manual
+        );
+        // Independent seeds at an overloaded operating point produce
+        // replication-to-replication variance.
+        assert!(r.stats.voice_loss().ci95_half_width() > 0.0);
+        // Replication 0's report is the point-seed run.
+        assert_eq!(r.report.seed, point.config.seed);
+    }
+
+    #[test]
+    fn replicated_results_are_identical_across_thread_counts() {
+        let base = tiny_config();
+        let points: Vec<(SweepPoint, ReplicationPolicy)> =
+            voice_load_sweep(&base, ProtocolKind::Charisma, &[10, 20, 30], 1, false)
+                .into_iter()
+                .map(|p| (p, ReplicationPolicy::fixed(3)))
+                .collect();
+        let serial = run_sweep_replicated(points.clone(), 1);
+        let parallel = run_sweep_replicated(points, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stopping_rule_runs_to_the_cap_when_the_target_is_unreachable() {
+        let base = tiny_config();
+        let points = voice_load_sweep(&base, ProtocolKind::DTdmaFr, &[30], 2, false);
+        let tight = run_sweep_replicated(
+            vec![(points[0].clone(), ReplicationPolicy::adaptive(2, 5, 1e-12))],
+            1,
+        );
+        assert_eq!(
+            tight[0].stats.reps(),
+            5,
+            "unreachable target must hit max_reps"
+        );
+
+        // A sky-high target is satisfied as soon as min_reps gives a
+        // variance estimate.
+        let loose = run_sweep_replicated(
+            vec![(points[0].clone(), ReplicationPolicy::adaptive(2, 5, 1e12))],
+            1,
+        );
+        assert_eq!(loose[0].stats.reps(), 2);
     }
 }

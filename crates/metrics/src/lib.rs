@@ -26,4 +26,4 @@ pub mod stats;
 
 pub use capacity::{capacity_at_threshold, crossing_load};
 pub use counters::{ContentionStats, DataStats, RunMetrics, SlotStats, VoiceStats};
-pub use stats::RunningStat;
+pub use stats::{student_t_975, RepsAccumulator, RunningStat};

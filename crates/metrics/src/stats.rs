@@ -1,6 +1,39 @@
-//! Streaming (single-pass) statistics.
+//! Streaming (single-pass) statistics and replication-level confidence
+//! intervals.
+//!
+//! [`RunningStat`] is the Welford accumulator used both inside a run (per
+//! frame) and across independent replications of a sweep point.  For the
+//! replication use the sample count is small (3–10), so interval estimates
+//! use the Student-t distribution ([`student_t_975`]) rather than the normal
+//! approximation; [`RepsAccumulator`] bundles the three headline QoS metrics
+//! of the paper's evaluation into one across-replications accumulator with a
+//! relative-precision stopping criterion.
 
+use crate::counters::RunMetrics;
 use serde::{Deserialize, Serialize};
+
+/// Two-sided 95 % critical value of the Student-t distribution (the 97.5 %
+/// quantile) for `df` degrees of freedom.
+///
+/// Exact table values for `df <= 30`, then the conventional coarse steps
+/// (40, 60, 120) down to the normal limit 1.96.  `df == 0` (a single
+/// observation, no variance estimate) returns infinity: one replication
+/// carries no interval information.
+pub fn student_t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
 
 /// Welford running mean / variance accumulator with min/max tracking.
 ///
@@ -111,6 +144,111 @@ impl RunningStat {
     pub fn sum(&self) -> f64 {
         self.mean() * self.count as f64
     }
+
+    /// Standard error of the mean (0 with fewer than two observations).
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % Student-t confidence interval on the mean
+    /// (0 with fewer than two observations — a single replication has no
+    /// interval estimate, and callers render it as a zero-width interval).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            student_t_975(self.count - 1) * self.std_error()
+        }
+    }
+
+    /// Relative half-width of the 95 % confidence interval,
+    /// `ci95_half_width / |mean|` — the precision measure of the sequential
+    /// stopping rule.  A degenerate interval (half-width 0, e.g. every
+    /// replication observed an identical value such as zero loss) is
+    /// perfectly precise and returns 0; a non-degenerate interval around a
+    /// zero mean cannot be expressed relatively and returns infinity.
+    pub fn rel_ci95_half_width(&self) -> f64 {
+        let hw = self.ci95_half_width();
+        if hw == 0.0 {
+            0.0
+        } else if self.mean() == 0.0 {
+            f64::INFINITY
+        } else {
+            hw / self.mean().abs()
+        }
+    }
+}
+
+/// Across-replication accumulator for the paper's three headline QoS
+/// metrics: voice packet loss rate, data throughput per frame and mean data
+/// access delay.
+///
+/// One accumulator per sweep point: every independent replication pushes its
+/// [`RunMetrics`] once, and the campaign layer renders the per-metric means
+/// and 95 % Student-t confidence intervals into the CSV.  Replications of a
+/// point always run sequentially inside one sweep worker, so the
+/// accumulation order — and therefore every derived statistic, bit for bit —
+/// is independent of the sweep thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct RepsAccumulator {
+    voice_loss: RunningStat,
+    data_throughput: RunningStat,
+    data_delay: RunningStat,
+}
+
+impl RepsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one replication's run metrics.
+    pub fn push(&mut self, metrics: &RunMetrics) {
+        self.voice_loss.push(metrics.voice_loss_rate());
+        self.data_throughput
+            .push(metrics.data_throughput_per_frame());
+        self.data_delay.push(metrics.data_delay_secs());
+    }
+
+    /// Number of replications accumulated.
+    pub fn reps(&self) -> u64 {
+        self.voice_loss.count()
+    }
+
+    /// Voice packet loss rate across replications.
+    pub fn voice_loss(&self) -> &RunningStat {
+        &self.voice_loss
+    }
+
+    /// Data throughput (packets per frame) across replications.
+    pub fn data_throughput(&self) -> &RunningStat {
+        &self.data_throughput
+    }
+
+    /// Mean data access delay (seconds) across replications.
+    pub fn data_delay(&self) -> &RunningStat {
+        &self.data_delay
+    }
+
+    /// The largest relative 95 % CI half-width across the three metrics —
+    /// the quantity the sequential stopping rule drives below its target.
+    pub fn max_rel_ci95_half_width(&self) -> f64 {
+        self.voice_loss
+            .rel_ci95_half_width()
+            .max(self.data_throughput.rel_ci95_half_width())
+            .max(self.data_delay.rel_ci95_half_width())
+    }
+
+    /// Whether every metric's relative 95 % CI half-width is at or below
+    /// `target`.  Requires at least two replications: with one there is no
+    /// variance estimate and no evidence of precision.
+    pub fn within_target(&self, target: f64) -> bool {
+        self.reps() >= 2 && self.max_rel_ci95_half_width() <= target
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +326,91 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
         assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn student_t_table_matches_reference_values() {
+        assert_eq!(student_t_975(0), f64::INFINITY);
+        assert!((student_t_975(1) - 12.706).abs() < 1e-9);
+        assert!((student_t_975(2) - 4.303).abs() < 1e-9);
+        assert!((student_t_975(7) - 2.365).abs() < 1e-9);
+        assert!((student_t_975(30) - 2.042).abs() < 1e-9);
+        assert!((student_t_975(35) - 2.021).abs() < 1e-9);
+        assert!((student_t_975(100) - 1.980).abs() < 1e-9);
+        assert_eq!(student_t_975(10_000), 1.960);
+        // Monotone non-increasing in the degrees of freedom.
+        for df in 1..200 {
+            assert!(student_t_975(df) >= student_t_975(df + 1), "df {df}");
+        }
+    }
+
+    #[test]
+    fn ci95_half_width_matches_closed_form() {
+        // Sample [2,4,4,4,5,5,7,9]: n = 8, mean = 5, s^2 = 32/7.
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        let se = (32.0 / 7.0 / 8.0_f64).sqrt();
+        assert!((s.std_error() - se).abs() < 1e-12);
+        let hw = 2.365 * se; // t_{0.975, df=7} = 2.365
+        assert!(
+            (s.ci95_half_width() - hw).abs() < 1e-12,
+            "{}",
+            s.ci95_half_width()
+        );
+        assert!((s.rel_ci95_half_width() - hw / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_is_zero_width_without_a_variance_estimate() {
+        let mut s = RunningStat::new();
+        assert_eq!(s.ci95_half_width(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.rel_ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn rel_ci95_handles_zero_means() {
+        // All-identical zeros: degenerate interval, perfectly precise.
+        let mut zeros = RunningStat::new();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert_eq!(zeros.rel_ci95_half_width(), 0.0);
+        // Symmetric sample around zero: relative precision is undefined.
+        let mut sym = RunningStat::new();
+        sym.push(-1.0);
+        sym.push(1.0);
+        assert_eq!(sym.rel_ci95_half_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn reps_accumulator_tracks_all_three_metrics() {
+        let mut acc = RepsAccumulator::new();
+        assert_eq!(acc.reps(), 0);
+        assert!(!acc.within_target(1.0), "no replications, no evidence");
+        for (gen, dropped, delivered, delay) in [
+            (1000, 10, 200, 40.0),
+            (1000, 14, 210, 44.0),
+            (1000, 12, 190, 36.0),
+        ] {
+            let mut m = RunMetrics {
+                frames: 100,
+                ..RunMetrics::default()
+            };
+            m.voice.generated = gen;
+            m.voice.dropped_deadline = dropped;
+            m.data.delivered = delivered;
+            m.data.delay.push(delay);
+            acc.push(&m);
+        }
+        assert_eq!(acc.reps(), 3);
+        assert!((acc.voice_loss().mean() - 0.012).abs() < 1e-12);
+        assert!((acc.data_throughput().mean() - 2.0).abs() < 1e-12);
+        assert!((acc.data_delay().mean() - 40.0).abs() < 1e-12);
+        assert!(acc.max_rel_ci95_half_width() > 0.0);
+        assert!(acc.within_target(f64::INFINITY));
+        assert!(!acc.within_target(1e-9));
     }
 }

@@ -7,7 +7,9 @@
 //! campaign's rendered CSV bytes are a pure function of (campaign, frame
 //! budget), across repeats and across sweep thread counts.
 
-use charisma::{run_sweep, FrameBudget, ProtocolKind, Scenario, SimConfig, SweepPoint};
+use charisma::{
+    run_sweep, FrameBudget, ProtocolKind, ReplicationPolicy, Scenario, SimConfig, SweepPoint,
+};
 use charisma_bench::{registry, BenchProfile};
 
 fn config(seed: u64) -> SimConfig {
@@ -136,4 +138,54 @@ fn campaign_csv_bytes_are_identical_across_sweep_thread_counts() {
     assert!(lines[0].starts_with("scenario,protocol,request_queue"));
     assert!(serial.contains("RMAV,false"));
     assert!(!serial.contains("RMAV,true"), "RMAV has no queue variant");
+}
+
+/// A two-protocol, four-point slice of the fig11 campaign shape, kept tiny
+/// because the replication matrix below runs it 3 x 3 times in a debug
+/// build.
+fn micro_fig11() -> charisma::Campaign {
+    let mut campaign = mini_fig11();
+    for spec in &mut campaign.specs {
+        spec.protocols = vec![ProtocolKind::Charisma, ProtocolKind::DTdmaFr];
+        spec.voice_users = vec![12];
+        spec.data_users = vec![0, 2];
+        spec.request_queue = charisma::QueueToggle::Off;
+    }
+    campaign
+}
+
+#[test]
+fn replicated_campaign_csv_bytes_are_identical_across_runs_and_threads() {
+    // The replication engine on the real fig11 campaign shape: every point
+    // runs R = 3 independent replications on derived seed streams, and the
+    // rendered CSV — means, CI half-widths, reps column — must be
+    // byte-identical across repeats and across sweep thread counts.
+    let campaign = micro_fig11();
+    let policy = ReplicationPolicy::fixed(3);
+    let serial = campaign
+        .run_replicated(mini_budget(), policy, 1)
+        .unwrap()
+        .to_csv();
+    let again = campaign
+        .run_replicated(mini_budget(), policy, 1)
+        .unwrap()
+        .to_csv();
+    let parallel = campaign
+        .run_replicated(mini_budget(), policy, 4)
+        .unwrap()
+        .to_csv();
+    assert_eq!(serial, again, "replicated campaign CSV differs across runs");
+    assert_eq!(
+        serial, parallel,
+        "replicated campaign CSV must not depend on the sweep thread count"
+    );
+    // Every data row reports its replication count and carries the two CI
+    // columns of each metric.
+    let lines: Vec<&str> = serial.lines().collect();
+    assert!(lines[0].contains("reps,voice_loss_rate,voice_loss_ci95"));
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), lines[0].split(',').count());
+        assert_eq!(fields[7], "3", "reps column: {line}");
+    }
 }
