@@ -27,8 +27,10 @@ commands:
   list                        list every registered scenario
   describe <name>             show a scenario's details and exact spec JSON
   run <name>... | all         run scenarios (writes results/ + results/MANIFEST.json)
-  gate <name>                 re-run a scenario and compare against its committed
-                              baseline in results/ (exit 0 pass, 1 regression)
+  gate <name> | all           re-run a scenario and compare against its committed
+                              baseline in results/ (exit 0 pass, 1 regression);
+                              \"all\" gates every entry with a committed baseline
+                              and prints a one-line pass/fail summary table
   write-handbook              refresh the generated section of EXPERIMENTS.md
 
 run options:
@@ -88,6 +90,11 @@ fn list() -> ExitCode {
         );
     }
     println!();
+    println!("profiles (per sweep point):");
+    for profile in BenchProfile::ALL {
+        println!("  {:<10} {}", profile.label(), profile.describe());
+    }
+    println!();
     println!(
         "run one with: campaign run <name> --profile quick   (details: campaign describe <name>)"
     );
@@ -122,9 +129,22 @@ fn describe(args: &[String]) -> ExitCode {
     );
     println!("columns: {}", entry.columns);
     println!("runtime: {}", entry.runtime);
+    println!("profiles (per sweep point):");
+    for profile in BenchProfile::ALL {
+        println!("  {:<10} {}", profile.label(), profile.describe());
+    }
     match entry.kind {
         EntryKind::Sweep { build, .. } => {
             let campaign = build(BenchProfile::Standard);
+            for spec in &campaign.specs {
+                if let charisma::RepsSpec::Policy(policy) = spec.replications {
+                    println!(
+                        "note: spec \"{}\" overrides the profile policy: {}",
+                        spec.name,
+                        policy.describe()
+                    );
+                }
+            }
             let budget = BenchProfile::Standard.budget();
             let points = campaign.expand(budget).map(|p| p.len()).unwrap_or(0);
             println!("sweep points (standard profile): {points}");
@@ -310,10 +330,17 @@ fn run_gate(args: &[String]) -> ExitCode {
         }
     }
     let Some(name) = name else {
-        eprintln!("campaign gate: missing scenario name (e.g. bench_frame_loop)\n\n{USAGE}");
+        eprintln!("campaign gate: missing scenario name (e.g. bench_frame_loop, all)\n\n{USAGE}");
         return ExitCode::from(2);
     };
     let profile = profile.unwrap_or_else(BenchProfile::from_env);
+    if name == "all" {
+        if baseline.is_some() {
+            eprintln!("campaign gate: --baseline cannot be combined with \"all\"");
+            return ExitCode::from(2);
+        }
+        return gate_all(profile, threads, tolerance);
+    }
     match gate::run_gate(&name, profile, threads, tolerance, baseline.as_deref()) {
         Ok(report) => {
             println!();
@@ -340,6 +367,51 @@ fn run_gate(args: &[String]) -> ExitCode {
             eprintln!("campaign gate: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn gate_all(profile: BenchProfile, threads: usize, tolerance: f64) -> ExitCode {
+    let outcomes = gate::run_gate_all(profile, threads, tolerance);
+    println!();
+    println!(
+        "gate all — summary [{} profile, tolerance {tolerance}]",
+        profile.label()
+    );
+    println!("{:<20} {:<6} detail", "entry", "status");
+    let (mut failures, mut errors, mut gated) = (0usize, 0usize, 0usize);
+    for (name, outcome) in &outcomes {
+        let detail = match outcome {
+            gate::GateOutcome::Pass(report) => {
+                gated += 1;
+                format!("{} checks within tolerance", report.checks.len())
+            }
+            gate::GateOutcome::Fail(report) => {
+                gated += 1;
+                failures += 1;
+                format!(
+                    "{}/{} checks out of tolerance",
+                    report.failures(),
+                    report.checks.len()
+                )
+            }
+            gate::GateOutcome::Skipped(reason) => reason.clone(),
+            gate::GateOutcome::Error(e) => {
+                errors += 1;
+                e.clone()
+            }
+        };
+        println!("{name:<20} {:<6} {detail}", outcome.status());
+    }
+    println!();
+    if failures > 0 {
+        eprintln!("gate all: FAIL ({failures} of {gated} gated entries regressed)");
+        ExitCode::FAILURE
+    } else if errors > 0 {
+        eprintln!("gate all: {errors} entries hit infrastructure errors");
+        ExitCode::from(2)
+    } else {
+        println!("gate all: PASS ({gated} gated entries, rest skipped)");
+        ExitCode::SUCCESS
     }
 }
 

@@ -479,6 +479,90 @@ fn gate_bench_frame_loop(
     Ok(report)
 }
 
+/// How one entry fared in a [`run_gate_all`] sweep.
+#[derive(Debug)]
+pub enum GateOutcome {
+    /// The entry was gated and every check passed.
+    Pass(GateReport),
+    /// The entry was gated and at least one check failed.
+    Fail(GateReport),
+    /// The entry was not gateable here (no baseline, bespoke artifact,
+    /// non-uniform CSV schema); carries the reason.
+    Skipped(String),
+    /// Gating was attempted but hit an infrastructure error.
+    Error(String),
+}
+
+impl GateOutcome {
+    /// One-word status for the summary table.
+    pub fn status(&self) -> &'static str {
+        match self {
+            GateOutcome::Pass(_) => "PASS",
+            GateOutcome::Fail(_) => "FAIL",
+            GateOutcome::Skipped(_) => "skip",
+            GateOutcome::Error(_) => "ERROR",
+        }
+    }
+}
+
+/// Gates every registry entry that has a committed baseline in `results/`:
+/// `bench_frame_loop` against its committed perf record, and every sweep
+/// campaign whose primary CSV (in the uniform sweep schema) is present.
+/// Entries without a baseline, bespoke artifacts and non-uniform derived
+/// tables are reported as skipped, with the reason.
+pub fn run_gate_all(
+    profile: BenchProfile,
+    threads: usize,
+    tolerance: f64,
+) -> Vec<(&'static str, GateOutcome)> {
+    let mut outcomes = Vec::new();
+    for entry in registry::entries() {
+        let name = entry.name;
+        let gateable_kind = name == "bench_frame_loop"
+            || registry::build_campaign(name, BenchProfile::Quick).is_some();
+        if !gateable_kind {
+            outcomes.push((
+                name,
+                GateOutcome::Skipped("bespoke artifact (not gateable)".into()),
+            ));
+            continue;
+        }
+        let baseline = default_baseline_file(name).expect("known entry");
+        let text = match std::fs::read_to_string(&baseline) {
+            Ok(text) => text,
+            Err(_) => {
+                outcomes.push((
+                    name,
+                    GateOutcome::Skipped(format!("no committed baseline ({})", baseline.display())),
+                ));
+                continue;
+            }
+        };
+        // Derived tables (capacity_1pct.csv, qos_capacity.csv) are sweep
+        // entries whose primary output is not the uniform row schema the
+        // comparator understands; their underlying campaigns are covered by
+        // the fig11/fig12-shaped entries anyway.
+        if name != "bench_frame_loop"
+            && text.lines().next().unwrap_or_default() != CampaignRun::CSV_HEADER
+        {
+            outcomes.push((
+                name,
+                GateOutcome::Skipped(
+                    "baseline is a derived table, not the uniform sweep CSV".into(),
+                ),
+            ));
+            continue;
+        }
+        let outcome = match run_gate(name, profile, threads, tolerance, None) {
+            Ok(report) if report.passed() => GateOutcome::Pass(report),
+            Ok(report) => GateOutcome::Fail(report),
+            Err(e) => GateOutcome::Error(e),
+        };
+        outcomes.push((name, outcome));
+    }
+    outcomes
+}
+
 /// The gate's target for `name`: what baseline file it compares against.
 pub fn default_baseline_file(name: &str) -> Option<PathBuf> {
     if name == "bench_frame_loop" {

@@ -142,6 +142,20 @@ impl BenchProfile {
         }
     }
 
+    /// One line describing what this profile implies per sweep point — run
+    /// length and replication policy.  `campaign list`/`describe` and the
+    /// handbook preamble all print this string, so the CLI and the docs can
+    /// never drift apart.
+    pub fn describe(self) -> String {
+        let budget = self.budget();
+        format!(
+            "{} warm-up + {} measured frames/point, {}",
+            budget.warmup,
+            budget.measured,
+            self.replications().describe()
+        )
+    }
+
     /// The default replication policy per sweep point under this profile
     /// (specs may override it via their `replications` field).
     ///

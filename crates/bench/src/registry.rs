@@ -16,7 +16,9 @@ use crate::{
 use charisma::metrics::capacity_at_threshold;
 use charisma::radio::SpeedProfile;
 use charisma::spec::{Axis, QueueToggle, RampSpec, ScenarioSpec};
-use charisma::{Campaign, CampaignRow, CampaignRun, Json, ProtocolKind};
+use charisma::{
+    Campaign, CampaignRow, CampaignRun, HandoffAdmission, HandoffConfig, Json, Layout, ProtocolKind,
+};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -202,6 +204,76 @@ fn load_ramp_campaign(_profile: BenchProfile) -> Campaign {
     Campaign::new("load_ramp")
         .with_spec(ramped)
         .with_spec(steady)
+}
+
+fn multicell_baseline_campaign(profile: BenchProfile) -> Campaign {
+    let mut spec = ScenarioSpec::new("multicell_baseline");
+    spec.axis = Axis::VoiceUsers;
+    spec.voice_users = match profile {
+        BenchProfile::Quick => vec![10, 20],
+        _ => vec![10, 15, 20, 25, 30],
+    };
+    spec.data_users = vec![5];
+    // The classic 7-cell hexagonal cluster with small (250 m) cells, so the
+    // vehicular half of the population crosses several cell boundaries even
+    // inside a quick-profile run.
+    spec.cells = 7;
+    spec.layout = Layout::Hex {
+        cell_radius_m: 250.0,
+    };
+    spec.handoff = HandoffConfig {
+        admission: HandoffAdmission::Queue,
+        cell_capacity: 0, // unlimited: the baseline measures pure mobility
+        retry_frames: 40,
+        hysteresis_m: 15.0,
+    };
+    // Mixed pedestrian/vehicular population (cf. the mixed_mobility entry).
+    spec.speed = SpeedProfile::Bimodal {
+        slow_kmh: 3.0,
+        fast_kmh: 80.0,
+        fraction_fast: 0.5,
+    };
+    Campaign::new("multicell_baseline").with_spec(spec)
+}
+
+fn handoff_stress_campaign(_profile: BenchProfile) -> Campaign {
+    let base = {
+        let mut spec = ScenarioSpec::new("handoff_drop");
+        spec.protocols = vec![
+            ProtocolKind::Charisma,
+            ProtocolKind::DTdmaVr,
+            ProtocolKind::DTdmaFr,
+        ];
+        spec.axis = Axis::Single;
+        spec.voice_users = vec![20];
+        spec.data_users = vec![5];
+        // A 3-cell highway corridor of small cells; 80% of the terminals
+        // drive at 80 km/h, so cell crossings are constant and the tight
+        // admission capacity (25 initial + 5 headroom) is under permanent
+        // pressure.
+        spec.cells = 3;
+        spec.layout = Layout::Line {
+            cell_radius_m: 200.0,
+        };
+        spec.speed = SpeedProfile::Bimodal {
+            slow_kmh: 3.0,
+            fast_kmh: 80.0,
+            fraction_fast: 0.8,
+        };
+        spec.handoff = HandoffConfig {
+            admission: HandoffAdmission::DropOnFull,
+            cell_capacity: 30,
+            retry_frames: 40,
+            hysteresis_m: 10.0,
+        };
+        spec
+    };
+    let mut queued = base.clone();
+    queued.name = "handoff_queue".into();
+    queued.handoff.admission = HandoffAdmission::Queue;
+    Campaign::new("handoff_stress")
+        .with_spec(base)
+        .with_spec(queued)
 }
 
 fn data_heavy_campaign(profile: BenchProfile) -> Campaign {
@@ -609,6 +681,89 @@ fn render_load_ramp(run: &CampaignRun) -> Vec<Artifact> {
     vec![uniform_csv(run, "load_ramp.csv")]
 }
 
+/// The CSV schema of the per-row handoff artifact emitted by the multi-cell
+/// entries (system-level counters of replication 0, whose seed is the point
+/// seed — deterministic bytes like every campaign CSV).
+pub const HANDOFF_COLUMNS: &str = "scenario,protocol,request_queue,num_voice,num_data,\
+                                   speed_kmh,load,cells,\
+                                   handoff_attempts,handoff_successes,handoff_failures,\
+                                   handoff_queued,voice_dropped_handoff";
+
+fn handoff_csv(run: &CampaignRun, file: &'static str) -> Artifact {
+    let mut contents = String::from(HANDOFF_COLUMNS);
+    contents.push('\n');
+    for r in &run.rows {
+        let h = &r.report.metrics.handoff;
+        contents.push_str(&format!(
+            "{},{},{},{},{},{:.2},{},{},{},{},{},{},{}\n",
+            r.scenario,
+            r.protocol.label(),
+            r.request_queue,
+            r.num_voice,
+            r.num_data,
+            r.speed_kmh,
+            r.load,
+            r.report.metrics.per_cell.len(),
+            h.attempts,
+            h.successes,
+            h.failures,
+            h.queued,
+            r.report.metrics.voice.dropped_handoff,
+        ));
+    }
+    Artifact { file, contents }
+}
+
+fn print_handoff_table(run: &CampaignRun) {
+    println!();
+    println!("--- handoff counters (replication 0) ---");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} {:>8} {:>14}",
+        "series", "attempts", "admitted", "refused", "queued", "voice dropped"
+    );
+    for r in &run.rows {
+        let h = &r.report.metrics.handoff;
+        println!(
+            "{:<34} {:>9} {:>9} {:>9} {:>8} {:>14}",
+            format!("{} {} Nv={}", r.scenario, r.protocol.label(), r.num_voice),
+            h.attempts,
+            h.successes,
+            h.failures,
+            h.queued,
+            r.report.metrics.voice.dropped_handoff,
+        );
+    }
+}
+
+fn render_multicell_baseline(run: &CampaignRun) -> Vec<Artifact> {
+    print_curve_tables(run, "voice packet loss", loss, pct, Some(0.01));
+    print_handoff_table(run);
+    println!();
+    println!("Seven hexagonal cells, per-cell loads on the x axis, mixed 3/80 km/h population.");
+    println!("Handoffs succeed freely (unlimited admission); the loss above the single-cell");
+    println!("mixed_mobility figures is the price of path-loss SNR at cell edges plus the");
+    println!("hard-handoff voice interruptions counted in the handoff table.");
+    vec![
+        uniform_csv(run, "multicell_baseline.csv"),
+        handoff_csv(run, "multicell_baseline_handoff.csv"),
+    ]
+}
+
+fn render_handoff_stress(run: &CampaignRun) -> Vec<Artifact> {
+    print_curve_tables(run, "voice packet loss", loss, pct, None);
+    print_handoff_table(run);
+    println!();
+    println!("A 3-cell highway corridor at 80% vehicular load with admission capacity 30 per");
+    println!("cell: the drop_on_full series loses every in-flight voice packet of a refused");
+    println!("handoff, while the handoff_queue series parks terminals on their old cell until");
+    println!("the target frees capacity — compare the refused/queued columns and the voice");
+    println!("loss they induce.");
+    vec![
+        uniform_csv(run, "handoff_stress.csv"),
+        handoff_csv(run, "handoff_stress_handoff.csv"),
+    ]
+}
+
 fn render_data_heavy(run: &CampaignRun) -> Vec<Artifact> {
     print_curve_tables(run, "data throughput (pkt/frame)", throughput, plain3, None);
     print_curve_tables(run, "data delay (s)", delay, plain3, None);
@@ -840,6 +995,41 @@ pub fn entries() -> Vec<Entry> {
             kind: EntryKind::Sweep {
                 build: data_heavy_campaign,
                 render: render_data_heavy,
+            },
+        },
+        Entry {
+            name: "multicell_baseline",
+            title: "7-cell hexagonal system with mixed mobility",
+            paper: "beyond the paper (multi-cell system layer)",
+            details: "The classic 7-cell hexagonal cluster with 250 m cells: terminals roam \
+                      under the random-waypoint model, their mean SNR follows log-distance \
+                      path loss plus site shadowing, and boundary crossings trigger handoffs \
+                      (unlimited admission).  All six protocols over a per-cell voice grid at \
+                      Nd = 5 with a mixed 3/80 km/h population.  Emits the uniform sweep CSV \
+                      plus a per-row handoff-counter CSV.",
+            outputs: &["multicell_baseline.csv", "multicell_baseline_handoff.csv"],
+            columns: SWEEP_COLUMNS,
+            runtime: "quick ≈ 2 s, standard ≈ 1 min, full ≈ 4 min (release build, one core)",
+            kind: EntryKind::Sweep {
+                build: multicell_baseline_campaign,
+                render: render_multicell_baseline,
+            },
+        },
+        Entry {
+            name: "handoff_stress",
+            title: "3-cell corridor under handoff admission pressure",
+            paper: "beyond the paper (multi-cell system layer)",
+            details: "A highway corridor of three 200 m cells with 80% of terminals at \
+                      80 km/h and admission capacity 30 per cell (25 initial + 5 headroom): \
+                      the drop_on_full scenario loses in-flight voice packets whenever a full \
+                      cell refuses a handoff, the handoff_queue scenario parks terminals on \
+                      their old cell instead.  CHARISMA and the two D-TDMA baselines.",
+            outputs: &["handoff_stress.csv", "handoff_stress_handoff.csv"],
+            columns: SWEEP_COLUMNS,
+            runtime: "quick ≈ 1 s, standard ≈ 10 s, full ≈ 40 s (release build, one core)",
+            kind: EntryKind::Sweep {
+                build: handoff_stress_campaign,
+                render: render_handoff_stress,
             },
         },
     ]
@@ -1075,6 +1265,16 @@ pub fn handbook_markdown() -> String {
     out
 }
 
+/// The per-profile summary lines shared by `campaign list`, `campaign
+/// describe` and the handbook preamble (one source, no drift).
+pub fn profile_summary_lines() -> String {
+    BenchProfile::ALL
+        .iter()
+        .map(|p| format!("- `{}`: {}", p.label(), p.describe()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// The full `EXPERIMENTS.md` document used when the handbook does not exist
 /// yet: a hand-written preamble plus the generated scenario section.
 pub fn handbook_document() -> String {
@@ -1099,16 +1299,18 @@ pub fn handbook_document() -> String {
          The sweep-shaped experiments are declarative `ScenarioSpec`s (protocol set,\n\
          voice/data user grids, speed profile, channel mode, duration, replications,\n\
          seed) expanded onto the deterministic parallel sweep executor;\n\
-         `describe <name>` prints the exact spec JSON.  Run length per sweep point is\n\
-         set by the profile (`--profile` or `CHARISMA_BENCH_PROFILE`): `quick` ≈ 10\n\
-         simulated seconds per point for smoke runs, `standard` ≈ 40 s for day-to-day\n\
-         curves, `full` ≈ 100 s for paper-quality statistics.  The profile also sets\n\
-         the replications per sweep point (quick: 3 fixed; standard: 3–6, stopping at\n\
-         a 10 % relative CI target; full: 5–10 at 5 %), and the campaign CSVs report\n\
-         each metric as a mean with its 95 % Student-t confidence half-width.\n\
-         Unrecognised profile values are an error.  `campaign gate <name>` re-runs an\n\
-         entry and compares it against its committed baseline under `results/` (the\n\
-         CI benchmark regression gate).\n\
+         `describe <name>` prints the exact spec JSON.  Run length and replication\n\
+         policy per sweep point are set by the profile (`--profile` or\n\
+         `CHARISMA_BENCH_PROFILE`; `campaign list` prints the same summary):\n\
+         \n\
+         {profiles}\n\
+         \n\
+         The campaign CSVs report each metric as a mean with its 95 % Student-t\n\
+         confidence half-width.  Unrecognised profile values are an error.\n\
+         `campaign gate <name>` re-runs an entry and compares it against its\n\
+         committed baseline under `results/` (the CI benchmark regression gate);\n\
+         `campaign gate all` gates every entry with a committed baseline and prints\n\
+         a one-line pass/fail summary table.\n\
          \n\
          Every invocation of `campaign run` writes `results/MANIFEST.json` recording\n\
          the executed specs, profile, seeds, replication counts, output files and git\n\
@@ -1128,7 +1330,8 @@ pub fn handbook_document() -> String {
          {}\n",
         GENERATED_BEGIN,
         handbook_markdown(),
-        GENERATED_END
+        GENERATED_END,
+        profiles = profile_summary_lines(),
     )
 }
 
@@ -1203,6 +1406,8 @@ mod tests {
             "mixed_mobility",
             "load_ramp",
             "data_heavy",
+            "multicell_baseline",
+            "handoff_stress",
         ] {
             assert!(
                 names.contains(&required),

@@ -11,7 +11,9 @@
 
 use charisma_des::{FrameClock, SimDuration, SplitMix64};
 use charisma_phy::{AdaptivePhyConfig, FixedPhyConfig};
-use charisma_radio::{ChannelConfig, ChannelMode, CsiEstimatorConfig, SpeedProfile};
+use charisma_radio::{
+    ChannelConfig, ChannelMode, CsiEstimatorConfig, PathLossConfig, SpeedProfile,
+};
 use charisma_traffic::{DataSourceConfig, VoiceSourceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -214,6 +216,167 @@ pub struct LoadRamp {
     pub activation_frame: u64,
 }
 
+/// Geometry of the multi-cell base-station layout.
+///
+/// The layout fixes the cell centers on the system plane; terminals roam the
+/// layout's bounding box under the random-waypoint model and are served by
+/// (and handed off between) the nearest base stations.  `cell_radius_m` is
+/// the hex circumradius: adjacent centers sit `√3 · radius` apart, so the
+/// Voronoi boundary between neighbours lies at `√3/2 · radius ≈ 0.87 ·
+/// radius` from each.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Hexagonal packing: a center cell surrounded by rings of six (the
+    /// classic 7-cell cluster at `cells = 7`).
+    Hex {
+        /// Cell circumradius in metres.
+        cell_radius_m: f64,
+    },
+    /// A corridor of cells along a line (highway scenarios).
+    Line {
+        /// Cell circumradius in metres.
+        cell_radius_m: f64,
+    },
+}
+
+impl Layout {
+    /// The default layout: hexagonal packing with 400 m cells.
+    pub fn default_hex() -> Self {
+        Layout::Hex {
+            cell_radius_m: 400.0,
+        }
+    }
+
+    /// The cell circumradius in metres.
+    pub fn cell_radius_m(&self) -> f64 {
+        match *self {
+            Layout::Hex { cell_radius_m } | Layout::Line { cell_radius_m } => cell_radius_m,
+        }
+    }
+
+    /// Validates the layout.
+    pub fn validate(&self) {
+        let r = self.cell_radius_m();
+        assert!(
+            r.is_finite() && r > 0.0,
+            "cell radius must be positive and finite, got {r}"
+        );
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::default_hex()
+    }
+}
+
+/// What a cell does with a handoff attempt it has no room for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandoffAdmission {
+    /// Refuse the handoff: the terminal's buffered voice packets are dropped
+    /// (the interrupted call of classical telephony) and it stays served —
+    /// badly — by its old, now-distant cell until a retry.
+    DropOnFull,
+    /// Park the terminal in the target cell's admission queue; it keeps
+    /// being served by the old cell, without packet loss, until the target
+    /// frees capacity.
+    Queue,
+}
+
+/// Handoff behaviour of the multi-cell system layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoffConfig {
+    /// Admission policy when the target cell is at capacity.
+    pub admission: HandoffAdmission,
+    /// Maximum number of terminals a cell may serve (0: unlimited).  Must be
+    /// at least the initial per-cell population when set.
+    pub cell_capacity: u32,
+    /// Frames a terminal waits after a refused (drop-on-full) handoff before
+    /// attempting again.
+    pub retry_frames: u64,
+    /// A handoff is only attempted once the nearest base station is closer
+    /// than the serving one by this margin (metres) — the standard hysteresis
+    /// that prevents ping-ponging on the Voronoi boundary.
+    pub hysteresis_m: f64,
+}
+
+impl Default for HandoffConfig {
+    fn default() -> Self {
+        HandoffConfig {
+            admission: HandoffAdmission::Queue,
+            cell_capacity: 0,
+            retry_frames: 40, // 100 ms at the 2.5 ms frame
+            hysteresis_m: 25.0,
+        }
+    }
+}
+
+impl HandoffConfig {
+    /// Validates the parameters (`per_cell` is the initial per-cell terminal
+    /// population, which a finite capacity must accommodate).
+    pub fn validate(&self, per_cell: u32) {
+        assert!(
+            self.retry_frames > 0,
+            "handoff retry_frames must be positive"
+        );
+        assert!(
+            self.hysteresis_m.is_finite() && self.hysteresis_m >= 0.0,
+            "handoff hysteresis must be finite and non-negative, got {}",
+            self.hysteresis_m
+        );
+        if self.cell_capacity != 0 {
+            assert!(
+                self.cell_capacity >= per_cell,
+                "cell_capacity ({}) is below the initial per-cell population ({per_cell})",
+                self.cell_capacity
+            );
+        }
+    }
+}
+
+/// The multi-cell system configuration.  `None` in [`SimConfig::system`]
+/// selects the paper's implicit single cell (no geometry, flat mean SNR) —
+/// the historical code path, bit-for-bit.
+///
+/// With a system configured, `num_voice`/`num_data` are the **initial
+/// per-cell** populations: the run starts with `cells · (num_voice +
+/// num_data)` terminals scattered uniformly over their starting cells, and
+/// terminals migrate between cells as they roam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cells (≥ 1; `cells = 1` exercises the system machinery on a
+    /// single base station, and with a flat path-loss profile reproduces the
+    /// implicit-cell metrics exactly).
+    pub cells: u32,
+    /// Base-station layout geometry.
+    pub layout: Layout,
+    /// Handoff admission behaviour.
+    pub handoff: HandoffConfig,
+    /// Distance-based path loss feeding each terminal's mean SNR.
+    pub path_loss: PathLossConfig,
+}
+
+impl SystemConfig {
+    /// A system of `cells` cells with default layout, handoff and path loss.
+    pub fn new(cells: u32) -> Self {
+        SystemConfig {
+            cells,
+            layout: Layout::default(),
+            handoff: HandoffConfig::default(),
+            path_loss: PathLossConfig::default(),
+        }
+    }
+
+    /// Validates the system configuration (`per_cell` is the initial
+    /// per-cell terminal population).
+    pub fn validate(&self, per_cell: u32) {
+        assert!(self.cells >= 1, "a system needs at least one cell");
+        self.layout.validate();
+        self.handoff.validate(per_cell);
+        self.path_loss.validate();
+    }
+}
+
 /// Request-contention parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ContentionConfig {
@@ -272,6 +435,9 @@ pub struct SimConfig {
     /// Optional mid-run voice load step (None: all terminals active from
     /// frame 0, the paper's setting).
     pub ramp: Option<LoadRamp>,
+    /// Optional multi-cell system layer (None: the paper's implicit single
+    /// cell, the historical code path).  See [`SystemConfig`].
+    pub system: Option<SystemConfig>,
     /// Master random seed.
     pub seed: u64,
 }
@@ -304,6 +470,7 @@ impl SimConfig {
             warmup_frames: 4_000,    // 10 s warm-up
             measured_frames: 40_000, // 100 s measured
             ramp: None,
+            system: None,
             seed: 0x5EED_CAFE,
         }
     }
@@ -376,6 +543,9 @@ impl SimConfig {
                 ramp.activation_frame,
                 self.total_frames()
             );
+        }
+        if let Some(system) = &self.system {
+            system.validate(self.num_voice + self.num_data);
         }
         // The voice packet period must be a whole number of frames, otherwise
         // the isochronous schedule cannot be honoured.
@@ -503,6 +673,42 @@ mod tests {
         let mut other = cfg.clone();
         other.seed ^= 1;
         assert_ne!(other.replication_seed(1), cfg.replication_seed(1));
+    }
+
+    #[test]
+    fn system_config_validates_and_rejects_bad_shapes() {
+        let mut cfg = SimConfig::default_paper();
+        cfg.system = Some(SystemConfig::new(7));
+        cfg.validate();
+        assert_eq!(cfg.system.unwrap().layout.cell_radius_m(), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cell_system_is_rejected() {
+        let mut cfg = SimConfig::default_paper();
+        cfg.system = Some(SystemConfig::new(0));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell radius")]
+    fn degenerate_layout_is_rejected() {
+        let mut cfg = SimConfig::default_paper();
+        let mut system = SystemConfig::new(3);
+        system.layout = Layout::Line { cell_radius_m: 0.0 };
+        cfg.system = Some(system);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_capacity")]
+    fn capacity_below_initial_population_is_rejected() {
+        let mut cfg = SimConfig::default_paper(); // 40 voice terminals
+        let mut system = SystemConfig::new(3);
+        system.handoff.cell_capacity = 10;
+        cfg.system = Some(system);
+        cfg.validate();
     }
 
     #[test]

@@ -47,17 +47,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;
+pub mod cell;
 pub mod config;
 pub mod json;
 pub mod protocols;
 pub mod scenario;
 pub mod spec;
 pub mod sweep;
+pub mod system;
 pub mod terminal;
 pub mod world;
 
 pub use campaign::{Campaign, CampaignRow, CampaignRun};
-pub use config::{CharismaParams, ContentionConfig, FrameStructure, LoadRamp, SimConfig};
+pub use cell::Cell;
+pub use config::{
+    CharismaParams, ContentionConfig, FrameStructure, HandoffAdmission, HandoffConfig, Layout,
+    LoadRamp, SimConfig, SystemConfig,
+};
 pub use json::Json;
 pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
 pub use scenario::{RunReport, Scenario};
@@ -69,6 +75,7 @@ pub use sweep::{
     data_load_sweep, run_sweep, run_sweep_replicated, voice_load_sweep, ReplicatedResult,
     ReplicationPolicy, SweepPoint, SweepResult,
 };
+pub use system::{cell_centers, flat_path_loss, layout_bounds, SystemWorld};
 pub use terminal::{FrameTraffic, Terminal};
 pub use world::{DataTx, FrameScratch, FrameWorld, LinkAdaptation, VoiceTx};
 

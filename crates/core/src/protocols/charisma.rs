@@ -159,6 +159,12 @@ impl UplinkMac for Charisma {
         ProtocolKind::Charisma
     }
 
+    fn forget_terminal(&mut self, id: TerminalId) {
+        self.reservations.remove(&id);
+        self.backlog.retain(|e| e.terminal != id);
+        self.last_csi.remove(&id);
+    }
+
     fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
         let fs = world.config.frame;
         world.record_offered_slots(fs.info_slots);

@@ -59,6 +59,11 @@ impl UplinkMac for Drma {
         ProtocolKind::Drma
     }
 
+    fn forget_terminal(&mut self, id: TerminalId) {
+        self.reservations.remove(&id);
+        self.queue.remove(id);
+    }
+
     fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
         let fs = world.config.frame;
         world.record_offered_slots(fs.drma_info_slots);

@@ -27,6 +27,7 @@ pub use rmav::Rmav;
 
 use crate::config::SimConfig;
 use crate::world::FrameWorld;
+use charisma_traffic::TerminalId;
 use serde::{Deserialize, Serialize};
 
 /// A MAC protocol driven frame-synchronously by the scenario runner.
@@ -46,6 +47,14 @@ pub trait UplinkMac {
     /// Executes one uplink frame: request gathering, slot allocation and
     /// packet transmission.
     fn run_frame(&mut self, world: &mut FrameWorld<'_>);
+
+    /// Purges every piece of per-terminal state the base station holds for
+    /// `id` — reservations, queued or gathered requests, cached CSI, pending
+    /// grants.  The multi-cell system layer calls this on the **old** cell's
+    /// MAC instance when a terminal is handed off, so a departed terminal can
+    /// never be scheduled by a base station that no longer serves it.  The
+    /// default is a no-op for stateless protocols.
+    fn forget_terminal(&mut self, _id: TerminalId) {}
 }
 
 /// Identifies one of the six protocols under comparison.

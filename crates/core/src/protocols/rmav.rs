@@ -103,6 +103,10 @@ impl UplinkMac for Rmav {
         false
     }
 
+    fn forget_terminal(&mut self, id: TerminalId) {
+        self.grants.retain(|g| g.terminal != id);
+    }
+
     fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
         let fs = world.config.frame;
         world.record_offered_slots(fs.rmav_info_slots);

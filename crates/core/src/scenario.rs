@@ -1,13 +1,13 @@
 //! The scenario runner: builds the terminal population, drives the
 //! frame-synchronous simulation loop and produces a [`RunReport`].
 
+use crate::cell::Cell;
 use crate::config::SimConfig;
 use crate::protocols::{ProtocolKind, UplinkMac};
+use crate::system::SystemWorld;
 use crate::terminal::{FrameTraffic, Terminal};
-use crate::world::{FrameScratch, FrameWorld};
-use charisma_des::{RngStreams, StreamId, Xoshiro256StarStar};
+use charisma_des::RngStreams;
 use charisma_metrics::RunMetrics;
-use charisma_radio::CsiEstimator;
 use charisma_traffic::{TerminalClass, TerminalId};
 use serde::{Deserialize, Serialize};
 
@@ -138,30 +138,41 @@ impl Scenario {
     }
 
     /// Runs the scenario under the given protocol and returns the report.
+    ///
+    /// A configuration with a multi-cell [`crate::config::SystemConfig`]
+    /// routes to the [`SystemWorld`] runner (one MAC instance per cell);
+    /// otherwise the paper's implicit single cell runs on the historical
+    /// code path, bit for bit.
     pub fn run(&self, protocol: ProtocolKind) -> RunReport {
+        if self.config.system.is_some() {
+            return SystemWorld::new(self.config.clone(), protocol).run();
+        }
         let mut mac = protocol.build(&self.config);
         self.run_with(mac.as_mut())
     }
 
-    /// Runs the scenario with an externally constructed protocol instance
-    /// (useful for ablations that tweak protocol internals).
+    /// Runs the single-cell scenario with an externally constructed protocol
+    /// instance (useful for ablations that tweak protocol internals).
+    /// Multi-cell configurations need one MAC instance per cell — use
+    /// [`Scenario::run`].
     pub fn run_with(&self, mac: &mut dyn UplinkMac) -> RunReport {
         let config = &self.config;
+        assert!(
+            config.system.is_none(),
+            "run_with drives the single-cell loop; multi-cell configs go through Scenario::run"
+        );
         let streams = RngStreams::new(config.seed);
         let mut terminals = self.build_terminals(&streams);
-        let mut metrics = RunMetrics::default();
-        let mut estimator = CsiEstimator::new(
-            config.csi,
-            streams.stream(StreamId::new(StreamId::DOMAIN_ESTIMATION, u32::MAX)),
+        // The implicit single cell: every terminal attached, cell index 0
+        // (which derives the historical estimator / base-station streams).
+        let mut cell = Cell::new(
+            config,
+            &streams,
+            0,
+            terminals.iter().map(|t| t.id()).collect(),
         );
-        let mut bs_rng: Xoshiro256StarStar =
-            streams.stream(StreamId::new(StreamId::DOMAIN_PROTOCOL, u32::MAX));
 
         let mut traffic: Vec<FrameTraffic> = vec![FrameTraffic::default(); terminals.len()];
-        // One set of scratch buffers for the whole run: the per-frame hot
-        // paths (contention, transmission) recycle them instead of
-        // allocating.
-        let mut scratch = FrameScratch::default();
         let total = config.total_frames();
         // Deadline drops are attributed to the frame in which the deadline
         // expires, one voice-packet period after generation; start counting
@@ -179,6 +190,7 @@ impl Scenario {
                 let tr = t.begin_frame(frame);
                 traffic[i] = tr;
                 if measuring {
+                    let metrics = cell.metrics_mut();
                     if tr.voice_packet_generated {
                         metrics.voice.generated += 1;
                     }
@@ -189,22 +201,7 @@ impl Scenario {
                 }
             }
 
-            let mut world = FrameWorld::new(
-                frame,
-                config,
-                measuring,
-                &traffic,
-                &mut terminals,
-                &mut metrics,
-                &mut estimator,
-                &mut bs_rng,
-                &mut scratch,
-            );
-            mac.run_frame(&mut world);
-
-            if measuring {
-                metrics.frames += 1;
-            }
+            cell.step(frame, config, measuring, &traffic, &mut terminals, mac);
         }
 
         RunReport {
@@ -213,7 +210,7 @@ impl Scenario {
             num_voice: config.num_voice,
             num_data: config.num_data,
             seed: config.seed,
-            metrics,
+            metrics: cell.into_metrics(),
         }
     }
 }

@@ -30,11 +30,11 @@
 //! assert_eq!(points.len(), 6 * 2 * 2); // 6 protocols x 2 Nd x 2 Nv
 //! ```
 
-use crate::config::{LoadRamp, SimConfig};
+use crate::config::{HandoffAdmission, HandoffConfig, Layout, LoadRamp, SimConfig, SystemConfig};
 use crate::json::Json;
 use crate::protocols::ProtocolKind;
 use crate::sweep::{ReplicationPolicy, SweepPoint};
-use charisma_radio::{ChannelMode, SpeedProfile};
+use charisma_radio::{ChannelMode, PathLossConfig, SpeedProfile};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -232,6 +232,14 @@ pub struct ScenarioSpec {
     pub ramp: Option<RampSpec>,
     /// Replications per expanded point (default: the profile policy).
     pub replications: RepsSpec,
+    /// Number of cells (1: the paper's implicit single cell — the
+    /// historical code path; > 1: the multi-cell system layer, with
+    /// `voice_users`/`data_users` read as **per-cell** populations).
+    pub cells: u32,
+    /// Base-station layout geometry (multi-cell specs only).
+    pub layout: Layout,
+    /// Handoff admission behaviour (multi-cell specs only).
+    pub handoff: HandoffConfig,
 }
 
 impl ScenarioSpec {
@@ -253,6 +261,9 @@ impl ScenarioSpec {
             csi_aware: true,
             ramp: None,
             replications: RepsSpec::Profile,
+            cells: 1,
+            layout: Layout::default(),
+            handoff: HandoffConfig::default(),
         }
     }
 
@@ -316,6 +327,58 @@ impl ScenarioSpec {
             policy
                 .validate()
                 .map_err(|e| err(format!("{}: {e}", self.name)))?;
+        }
+        if self.cells == 0 {
+            return Err(err(format!(
+                "{}: a system needs at least one cell",
+                self.name
+            )));
+        }
+        if self.cells == 1
+            && (self.layout != Layout::default() || self.handoff != HandoffConfig::default())
+        {
+            // The serialiser omits layout/handoff for single-cell specs, so a
+            // non-default value here would be dropped silently on round-trip;
+            // refuse it instead (it has no effect on a single-cell run).
+            return Err(err(format!(
+                "{}: layout/handoff settings are only meaningful with cells > 1",
+                self.name
+            )));
+        }
+        if self.cells > 1 {
+            let radius = self.layout.cell_radius_m();
+            if !(radius.is_finite() && radius > 0.0) {
+                return Err(err(format!(
+                    "{}: cell radius must be positive and finite, got {radius}",
+                    self.name
+                )));
+            }
+            if self.handoff.retry_frames == 0 {
+                return Err(err(format!(
+                    "{}: handoff retry_frames must be positive",
+                    self.name
+                )));
+            }
+            if !(self.handoff.hysteresis_m.is_finite() && self.handoff.hysteresis_m >= 0.0) {
+                return Err(err(format!(
+                    "{}: handoff hysteresis must be finite and non-negative, got {}",
+                    self.name, self.handoff.hysteresis_m
+                )));
+            }
+            if self.handoff.cell_capacity != 0 {
+                // Every expanded point starts each cell at (Nv + Nd)
+                // terminals, so a finite capacity must cover the largest
+                // grid cell.
+                let largest = self.voice_users.last().copied().unwrap_or(0)
+                    + self.data_users.last().copied().unwrap_or(0);
+                if self.handoff.cell_capacity < largest {
+                    return Err(err(format!(
+                        "{}: handoff cell_capacity ({}) is below the largest initial \
+                         per-cell population ({largest})",
+                        self.name, self.handoff.cell_capacity
+                    )));
+                }
+            }
         }
         if let Some(ramp) = &self.ramp {
             if !(0.0..1.0).contains(&ramp.at_measured_fraction) {
@@ -436,6 +499,14 @@ impl ScenarioSpec {
                     + (measured as f64 * ramp.at_measured_fraction).round() as u64,
             });
         }
+        if self.cells > 1 {
+            config.system = Some(SystemConfig {
+                cells: self.cells,
+                layout: self.layout,
+                handoff: self.handoff,
+                path_loss: PathLossConfig::default(),
+            });
+        }
         CampaignPoint {
             scenario: self.name.clone(),
             speed_kmh: config.speed.mean_kmh(),
@@ -489,6 +560,14 @@ impl ScenarioSpec {
                 Json::Array(self.speed_grid_kmh.iter().map(|&v| Json::Num(v)).collect()),
             ));
         }
+        // The multi-cell fields are emitted only for multi-cell specs, so
+        // the serialised form of every pre-existing (single-cell) spec is
+        // byte-identical to earlier releases.
+        if self.cells > 1 {
+            pairs.push(("cells".into(), Json::Int(self.cells as u64)));
+            pairs.push(("layout".into(), layout_to_json(&self.layout)));
+            pairs.push(("handoff".into(), handoff_to_json(&self.handoff)));
+        }
         if let Some(seed) = self.seed {
             pairs.push(("seed".into(), Json::Int(seed)));
         }
@@ -524,6 +603,8 @@ impl ScenarioSpec {
             .and_then(Json::as_str)
             .ok_or_else(|| err("spec is missing the required string field \"name\""))?;
         let mut spec = ScenarioSpec::new(name);
+        let mut saw_layout = false;
+        let mut saw_handoff = false;
         for (key, v) in pairs {
             match key.as_str() {
                 "name" => {}
@@ -581,12 +662,32 @@ impl ScenarioSpec {
                         .ok_or_else(|| err("\"csi_aware\" must be a boolean"))?;
                 }
                 "ramp" => spec.ramp = Some(ramp_from_json(v)?),
+                "cells" => {
+                    spec.cells = v
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| err("\"cells\" must be an unsigned 32-bit integer"))?;
+                }
+                "layout" => {
+                    spec.layout = layout_from_json(v)?;
+                    saw_layout = true;
+                }
+                "handoff" => {
+                    spec.handoff = handoff_from_json(v)?;
+                    saw_handoff = true;
+                }
                 unknown => {
                     return Err(err(format!(
                         "unknown key \"{unknown}\" in scenario spec \"{name}\""
                     )));
                 }
             }
+        }
+        if spec.cells <= 1 && (saw_layout || saw_handoff) {
+            return Err(err(format!(
+                "{}: \"layout\"/\"handoff\" are only valid with \"cells\" > 1",
+                spec.name
+            )));
         }
         spec.validate()?;
         Ok(spec)
@@ -891,6 +992,110 @@ fn replications_from_json(v: &Json) -> Result<RepsSpec, SpecError> {
     }
 }
 
+fn layout_to_json(layout: &Layout) -> Json {
+    let (kind, radius) = match *layout {
+        Layout::Hex { cell_radius_m } => ("hex", cell_radius_m),
+        Layout::Line { cell_radius_m } => ("line", cell_radius_m),
+    };
+    Json::Object(vec![
+        ("kind".into(), Json::Str(kind.into())),
+        ("cell_radius_m".into(), Json::Num(radius)),
+    ])
+}
+
+fn layout_from_json(v: &Json) -> Result<Layout, SpecError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| err("\"layout\" must be an object with a \"kind\" field"))?;
+    for (key, _) in pairs {
+        if key != "kind" && key != "cell_radius_m" {
+            return Err(err(format!("unknown key \"{key}\" in \"layout\"")));
+        }
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("\"layout\" is missing the string field \"kind\""))?;
+    let cell_radius_m = v
+        .get("cell_radius_m")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err("\"layout\" needs the number \"cell_radius_m\""))?;
+    match kind {
+        "hex" => Ok(Layout::Hex { cell_radius_m }),
+        "line" => Ok(Layout::Line { cell_radius_m }),
+        other => Err(err(format!(
+            "unknown layout kind \"{other}\" (valid: hex, line)"
+        ))),
+    }
+}
+
+fn admission_str(admission: HandoffAdmission) -> &'static str {
+    match admission {
+        HandoffAdmission::DropOnFull => "drop_on_full",
+        HandoffAdmission::Queue => "queue",
+    }
+}
+
+fn handoff_to_json(handoff: &HandoffConfig) -> Json {
+    Json::Object(vec![
+        (
+            "admission".into(),
+            Json::Str(admission_str(handoff.admission).into()),
+        ),
+        (
+            "cell_capacity".into(),
+            Json::Int(handoff.cell_capacity as u64),
+        ),
+        ("retry_frames".into(), Json::Int(handoff.retry_frames)),
+        ("hysteresis_m".into(), Json::Num(handoff.hysteresis_m)),
+    ])
+}
+
+fn handoff_from_json(v: &Json) -> Result<HandoffConfig, SpecError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| err("\"handoff\" must be an object"))?;
+    let mut handoff = HandoffConfig::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "admission" => {
+                let s = value
+                    .as_str()
+                    .ok_or_else(|| err("\"handoff\" field \"admission\" must be a string"))?;
+                handoff.admission = match s {
+                    "drop_on_full" => HandoffAdmission::DropOnFull,
+                    "queue" => HandoffAdmission::Queue,
+                    other => {
+                        return Err(err(format!(
+                            "unknown handoff admission \"{other}\" (valid: drop_on_full, queue)"
+                        )));
+                    }
+                };
+            }
+            "cell_capacity" => {
+                handoff.cell_capacity = value
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| {
+                        err("\"handoff\" field \"cell_capacity\" must be an unsigned integer")
+                    })?;
+            }
+            "retry_frames" => {
+                handoff.retry_frames = value.as_u64().ok_or_else(|| {
+                    err("\"handoff\" field \"retry_frames\" must be an unsigned integer")
+                })?;
+            }
+            "hysteresis_m" => {
+                handoff.hysteresis_m = value
+                    .as_f64()
+                    .ok_or_else(|| err("\"handoff\" field \"hysteresis_m\" must be a number"))?;
+            }
+            unknown => return Err(err(format!("unknown key \"{unknown}\" in \"handoff\""))),
+        }
+    }
+    Ok(handoff)
+}
+
 fn ramp_from_json(v: &Json) -> Result<RampSpec, SpecError> {
     let pairs = v
         .as_object()
@@ -1163,6 +1368,110 @@ mod tests {
         ] {
             assert!(ScenarioSpec::from_json_str(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn multicell_fields_round_trip_and_expand_into_a_system_config() {
+        let mut spec = ScenarioSpec::new("multicell");
+        spec.protocols = vec![ProtocolKind::Charisma];
+        spec.voice_users = vec![10, 20];
+        spec.data_users = vec![5];
+        spec.cells = 7;
+        spec.layout = Layout::Hex {
+            cell_radius_m: 250.0,
+        };
+        spec.handoff = HandoffConfig {
+            admission: HandoffAdmission::DropOnFull,
+            cell_capacity: 30,
+            retry_frames: 20,
+            hysteresis_m: 10.0,
+        };
+        let text = spec.to_json_string();
+        assert!(text.contains("\"cells\": 7"), "{text}");
+        assert!(text.contains("drop_on_full"), "{text}");
+        let back = ScenarioSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_string(), text);
+
+        let points = spec
+            .expand(FrameBudget {
+                warmup: 10,
+                measured: 100,
+            })
+            .unwrap();
+        for p in &points {
+            let system = p
+                .point
+                .config
+                .system
+                .expect("multi-cell points carry a system");
+            assert_eq!(system.cells, 7);
+            assert_eq!(system.layout.cell_radius_m(), 250.0);
+            assert_eq!(system.handoff.admission, HandoffAdmission::DropOnFull);
+            p.point.config.validate();
+        }
+    }
+
+    #[test]
+    fn single_cell_specs_serialise_without_the_multicell_keys() {
+        let spec = ScenarioSpec::new("single");
+        let text = spec.to_json_string();
+        assert!(!text.contains("\"cells\""), "{text}");
+        assert!(!text.contains("\"layout\""), "{text}");
+        assert!(!text.contains("\"handoff\""), "{text}");
+        // Expanded points stay on the historical single-cell path.
+        let points = spec
+            .expand(FrameBudget {
+                warmup: 10,
+                measured: 100,
+            })
+            .unwrap();
+        assert!(points.iter().all(|p| p.point.config.system.is_none()));
+    }
+
+    #[test]
+    fn multicell_spec_rejections() {
+        // layout/handoff without cells > 1.
+        for bad in [
+            r#"{"name": "x", "layout": {"kind": "hex", "cell_radius_m": 100}}"#,
+            r#"{"name": "x", "handoff": {"admission": "queue"}}"#,
+            r#"{"name": "x", "cells": 1, "layout": {"kind": "hex", "cell_radius_m": 100}}"#,
+        ] {
+            let e = ScenarioSpec::from_json_str(bad).unwrap_err();
+            assert!(e.to_string().contains("cells"), "{bad}: {e}");
+        }
+        // Zero cells, unknown layout kind / admission, unknown keys.
+        assert!(ScenarioSpec::from_json_str(r#"{"name": "x", "cells": 0}"#).is_err());
+        assert!(ScenarioSpec::from_json_str(
+            r#"{"name": "x", "cells": 3, "layout": {"kind": "ring", "cell_radius_m": 100}}"#
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json_str(
+            r#"{"name": "x", "cells": 3, "handoff": {"admission": "refuse"}}"#
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json_str(
+            r#"{"name": "x", "cells": 3, "handoff": {"admision": "queue"}}"#
+        )
+        .is_err());
+        assert!(ScenarioSpec::from_json_str(
+            r#"{"name": "x", "cells": 3, "layout": {"kind": "hex", "radius": 100}}"#
+        )
+        .is_err());
+        // Capacity below the largest grid population.
+        let mut spec = ScenarioSpec::new("cap");
+        spec.voice_users = vec![10, 40];
+        spec.cells = 3;
+        spec.handoff.cell_capacity = 20;
+        let e = spec.validate().unwrap_err();
+        assert!(e.to_string().contains("cell_capacity"), "{e}");
+        // A programmatically built single-cell spec with non-default
+        // layout/handoff must fail validation rather than silently dropping
+        // the settings on serialisation.
+        let mut single = ScenarioSpec::new("single-custom");
+        single.handoff.cell_capacity = 60;
+        let e = single.validate().unwrap_err();
+        assert!(e.to_string().contains("cells > 1"), "{e}");
     }
 
     #[test]

@@ -67,6 +67,21 @@ impl ReplicationPolicy {
         }
     }
 
+    /// A one-line human-readable summary (`campaign list`/`describe` and the
+    /// handbook preamble print this, so CLI and docs agree by construction).
+    pub fn describe(&self) -> String {
+        match self.target_rel_ci95 {
+            None if self.min_reps == 1 => "1 replication".into(),
+            None => format!("{} replications (fixed)", self.min_reps),
+            Some(target) => format!(
+                "{}-{} replications, stop at rel-CI95 <= {:.0}%",
+                self.min_reps,
+                self.max_reps,
+                target * 100.0
+            ),
+        }
+    }
+
     /// Validates the policy.
     pub fn validate(&self) -> Result<(), String> {
         if self.min_reps == 0 {

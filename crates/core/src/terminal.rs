@@ -219,6 +219,25 @@ impl Terminal {
         self.channel.mobility()
     }
 
+    /// Re-points the channel's mean SNR (dB).  The multi-cell system layer
+    /// calls this every frame with the path-loss + site-shadowing mean for
+    /// the terminal's current distance to its serving base station; the
+    /// fading processes (and the per-frame SNR cache, which is keyed by
+    /// sampling instant) are untouched.
+    pub fn set_mean_snr_db(&mut self, mean_snr_db: f64) {
+        self.channel.set_mean_snr_db(mean_snr_db);
+    }
+
+    /// Drops every buffered voice packet (the link interruption of a hard
+    /// handoff, or a refused drop-on-full admission) and returns how many
+    /// were lost.  Data packets are unaffected — they are retransmitted
+    /// through the new cell.
+    pub fn drop_buffered_voice(&mut self) -> u32 {
+        let n = self.voice_buffer.len() as u32;
+        self.voice_buffer.clear();
+        n
+    }
+
     /// The contention random stream (permission probability, slot choice).
     pub fn contention_rng(&mut self) -> &mut Xoshiro256StarStar {
         &mut self.contention_rng

@@ -102,6 +102,11 @@ pub struct FrameWorld<'a> {
     /// Per-terminal traffic events at this frame boundary (indexed like
     /// `terminals`).
     pub traffic: &'a [FrameTraffic],
+    /// The terminals attached to this world's base station, in attachment
+    /// order.  In a single-cell run this is every terminal; in a multi-cell
+    /// run it is the serving cell's current membership, and `terminals` /
+    /// `traffic` still span the whole system (ids are global).
+    members: &'a [TerminalId],
     terminals: &'a mut [Terminal],
     metrics: &'a mut RunMetrics,
     estimator: &'a mut CsiEstimator,
@@ -120,6 +125,7 @@ impl<'a> FrameWorld<'a> {
         config: &'a SimConfig,
         measuring: bool,
         traffic: &'a [FrameTraffic],
+        members: &'a [TerminalId],
         terminals: &'a mut [Terminal],
         metrics: &'a mut RunMetrics,
         estimator: &'a mut CsiEstimator,
@@ -128,6 +134,7 @@ impl<'a> FrameWorld<'a> {
     ) -> Self {
         let clock = config.clock();
         debug_assert_eq!(traffic.len(), terminals.len());
+        debug_assert!(members.len() <= terminals.len());
         FrameWorld {
             frame,
             now: clock.frame_start(frame),
@@ -135,6 +142,7 @@ impl<'a> FrameWorld<'a> {
             config,
             measuring,
             traffic,
+            members,
             terminals,
             metrics,
             estimator,
@@ -145,7 +153,7 @@ impl<'a> FrameWorld<'a> {
         }
     }
 
-    /// Number of terminals in the scenario.
+    /// Number of terminals in the whole scenario (across every cell).
     pub fn num_terminals(&self) -> usize {
         self.terminals.len()
     }
@@ -160,9 +168,11 @@ impl<'a> FrameWorld<'a> {
         &mut self.terminals[id.index() as usize]
     }
 
-    /// Iterates over all terminal ids.
+    /// Iterates over the ids of the terminals attached to this base station,
+    /// in attachment order.  This is the population a MAC protocol serves:
+    /// in a multi-cell run, terminals of other cells are invisible here.
     pub fn terminal_ids(&self) -> impl Iterator<Item = TerminalId> + '_ {
-        self.terminals.iter().map(|t| t.id())
+        self.members.iter().copied()
     }
 
     /// The metrics accumulator (protocols may add protocol-specific samples).
@@ -528,11 +538,13 @@ mod tests {
             u32::MAX,
         ));
         let mut scratch = FrameScratch::default();
+        let members: Vec<TerminalId> = (0..n_voice + n_data).map(TerminalId).collect();
         let world = FrameWorld::new(
             setup_frames,
             &config,
             true,
             &traffic,
+            &members,
             &mut terminals,
             &mut metrics,
             &mut estimator,

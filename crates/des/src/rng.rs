@@ -187,6 +187,8 @@ impl StreamId {
     pub const DOMAIN_PROTOCOL: u32 = 6;
     /// CSI estimation noise.
     pub const DOMAIN_ESTIMATION: u32 = 7;
+    /// Terminal motion (random-waypoint targets, site shadowing draws).
+    pub const DOMAIN_MOBILITY: u32 = 8;
 
     /// Creates a stream id.
     pub const fn new(domain: u32, entity: u32) -> Self {

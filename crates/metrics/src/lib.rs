@@ -25,5 +25,7 @@ pub mod counters;
 pub mod stats;
 
 pub use capacity::{capacity_at_threshold, crossing_load};
-pub use counters::{ContentionStats, DataStats, RunMetrics, SlotStats, VoiceStats};
+pub use counters::{
+    CellCounters, ContentionStats, DataStats, HandoffStats, RunMetrics, SlotStats, VoiceStats,
+};
 pub use stats::{student_t_975, RepsAccumulator, RunningStat};

@@ -94,6 +94,16 @@ impl CombinedChannel {
         &self.mobility
     }
 
+    /// Re-points the channel's mean SNR (dB): the multi-cell system layer
+    /// updates it every frame from the terminal's distance to its serving
+    /// base station (path loss + site shadowing).  The fading processes are
+    /// untouched — they ride on top of whatever mean is current when the SNR
+    /// is sampled.
+    pub fn set_mean_snr_db(&mut self, mean_snr_db: f64) {
+        assert!(mean_snr_db.is_finite(), "mean SNR must be finite");
+        self.config.mean_snr_db = mean_snr_db;
+    }
+
     /// The simulation time the channel state currently refers to.
     pub fn now(&self) -> SimTime {
         self.now

@@ -45,8 +45,13 @@ pub mod channel;
 pub mod csi;
 pub mod fading;
 pub mod mobility;
+pub mod pathloss;
 
 pub use channel::{ChannelConfig, ChannelMode, CombinedChannel};
 pub use csi::{CsiEstimate, CsiEstimator, CsiEstimatorConfig};
 pub use fading::{LongTermShadowing, ShadowingConfig, ShortTermFading};
-pub use mobility::{doppler_hz, Mobility, SpeedProfile, CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT_M_S};
+pub use mobility::{
+    doppler_hz, Bounds, Mobility, Position, RandomWaypoint, SpeedProfile, CARRIER_FREQUENCY_HZ,
+    SPEED_OF_LIGHT_M_S,
+};
+pub use pathloss::PathLossConfig;

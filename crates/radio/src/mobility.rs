@@ -114,6 +114,151 @@ impl SpeedProfile {
     }
 }
 
+/// A point in the 2-D system plane, in metres.
+///
+/// Single-cell scenarios never materialise positions — the implicit cell has
+/// no geometry — but the multi-cell system layer places every terminal on a
+/// plane shared with the base-station layout, so distances (and with them
+/// path loss) are well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Easting in metres.
+    pub x_m: f64,
+    /// Northing in metres.
+    pub y_m: f64,
+}
+
+impl Position {
+    /// The origin of the system plane.
+    pub const ORIGIN: Position = Position { x_m: 0.0, y_m: 0.0 };
+
+    /// Creates a position.
+    pub fn new(x_m: f64, y_m: f64) -> Self {
+        Position { x_m, y_m }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    pub fn distance_m(&self, other: Position) -> f64 {
+        let dx = self.x_m - other.x_m;
+        let dy = self.y_m - other.y_m;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle bounding terminal motion (the union of the
+/// system layout's cell footprints).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Lower-left corner.
+    pub min: Position,
+    /// Upper-right corner.
+    pub max: Position,
+}
+
+impl Bounds {
+    /// Creates a bounding rectangle; panics when the corners are reversed or
+    /// degenerate.
+    pub fn new(min: Position, max: Position) -> Self {
+        assert!(
+            min.x_m < max.x_m && min.y_m < max.y_m,
+            "bounds must span a non-empty rectangle (min {min:?}, max {max:?})"
+        );
+        Bounds { min, max }
+    }
+
+    /// Whether the rectangle contains `p` (borders included).
+    pub fn contains(&self, p: Position) -> bool {
+        (self.min.x_m..=self.max.x_m).contains(&p.x_m)
+            && (self.min.y_m..=self.max.y_m).contains(&p.y_m)
+    }
+
+    /// Draws a position uniformly inside the rectangle.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> Position {
+        Position {
+            x_m: self.min.x_m + (self.max.x_m - self.min.x_m) * rng.next_f64(),
+            y_m: self.min.y_m + (self.max.y_m - self.min.y_m) * rng.next_f64(),
+        }
+    }
+}
+
+/// The random-waypoint motion model: a terminal moves in a straight line at
+/// its fixed speed towards a waypoint drawn uniformly in the system bounds,
+/// and draws a fresh waypoint the moment it arrives.
+///
+/// This is the standard mobility model for cellular system studies (the
+/// paper itself stays inside one cell, so its mobility is speed-only — see
+/// [`Mobility`]).  The model is deterministic given its RNG stream: waypoint
+/// draws are the only consumption, so a stationary terminal consumes exactly
+/// the draws of its initial waypoint and nothing more.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    position: Position,
+    target: Position,
+    speed_mps: f64,
+}
+
+impl RandomWaypoint {
+    /// Starts the model at `start`, moving at `speed_kmh` towards a first
+    /// waypoint drawn uniformly in `bounds`.
+    pub fn new(
+        start: Position,
+        speed_kmh: f64,
+        bounds: &Bounds,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(speed_kmh >= 0.0, "speed must be non-negative");
+        RandomWaypoint {
+            position: start,
+            target: bounds.sample(rng),
+            speed_mps: speed_kmh / 3.6,
+        }
+    }
+
+    /// The current position.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// The current waypoint.
+    pub fn target(&self) -> Position {
+        self.target
+    }
+
+    /// The model's speed in km/h.
+    pub fn speed_kmh(&self) -> f64 {
+        self.speed_mps * 3.6
+    }
+
+    /// Advances the motion by `dt_secs`, drawing new waypoints as they are
+    /// reached.  Any distance budget left over at a waypoint is spent towards
+    /// the next one, so long steps (coalesced idle stretches) traverse the
+    /// same path a chain of short steps would.
+    pub fn advance(&mut self, dt_secs: f64, bounds: &Bounds, rng: &mut Xoshiro256StarStar) {
+        assert!(dt_secs >= 0.0, "time must move forwards");
+        let mut budget = self.speed_mps * dt_secs;
+        if budget <= 0.0 {
+            return;
+        }
+        loop {
+            let dist = self.position.distance_m(self.target);
+            if dist > budget {
+                let f = budget / dist;
+                self.position.x_m += (self.target.x_m - self.position.x_m) * f;
+                self.position.y_m += (self.target.y_m - self.position.y_m) * f;
+                return;
+            }
+            budget -= dist;
+            self.position = self.target;
+            self.target = bounds.sample(rng);
+            // A degenerate draw (target == position) would loop forever on a
+            // zero-length leg; the budget strictly decreases otherwise.
+            if budget <= f64::EPSILON {
+                return;
+            }
+        }
+    }
+}
+
 /// The mobility state of one terminal: its speed and the derived fading
 /// time constants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -258,6 +403,70 @@ mod tests {
         assert!((frac - 0.25).abs() < 0.02, "fast fraction {frac}");
         let mean = profile.mean_kmh();
         assert!((mean - (3.0 + 77.0 * 0.25)).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn waypoint_motion_stays_in_bounds_and_covers_distance() {
+        let bounds = Bounds::new(Position::new(-500.0, -500.0), Position::new(500.0, 500.0));
+        let mut rng = Xoshiro256StarStar::from_seed_u64(7);
+        let mut rw = RandomWaypoint::new(Position::ORIGIN, 72.0, &bounds, &mut rng);
+        assert_eq!(rw.speed_kmh(), 72.0); // 20 m/s
+        let mut travelled = 0.0;
+        let mut prev = rw.position();
+        for _ in 0..10_000 {
+            rw.advance(0.1, &bounds, &mut rng);
+            assert!(
+                bounds.contains(rw.position()),
+                "escaped: {:?}",
+                rw.position()
+            );
+            travelled += prev.distance_m(rw.position());
+            prev = rw.position();
+        }
+        // 10 000 x 0.1 s at 20 m/s = 20 km of path.  Steps containing a
+        // waypoint turn contribute a chord shorter than the path, so the
+        // summed endpoint distances land slightly below 20 km.
+        assert!(
+            (19_000.0..=20_000.0 + 1e-6).contains(&travelled),
+            "travelled {travelled}"
+        );
+    }
+
+    #[test]
+    fn waypoint_long_step_equals_chain_of_short_steps() {
+        let bounds = Bounds::new(Position::new(0.0, 0.0), Position::new(1000.0, 1000.0));
+        let mut rng_a = Xoshiro256StarStar::from_seed_u64(9);
+        let mut rng_b = Xoshiro256StarStar::from_seed_u64(9);
+        let start = Position::new(500.0, 500.0);
+        let mut a = RandomWaypoint::new(start, 50.0, &bounds, &mut rng_a);
+        let mut b = RandomWaypoint::new(start, 50.0, &bounds, &mut rng_b);
+        a.advance(60.0, &bounds, &mut rng_a);
+        for _ in 0..60 {
+            b.advance(1.0, &bounds, &mut rng_b);
+        }
+        assert!(
+            a.position().distance_m(b.position()) < 1e-6,
+            "coalesced {:?} vs stepped {:?}",
+            a.position(),
+            b.position()
+        );
+    }
+
+    #[test]
+    fn stationary_waypoint_model_never_moves() {
+        let bounds = Bounds::new(Position::new(-10.0, -10.0), Position::new(10.0, 10.0));
+        let mut rng = Xoshiro256StarStar::from_seed_u64(3);
+        let mut rw = RandomWaypoint::new(Position::new(1.0, 2.0), 0.0, &bounds, &mut rng);
+        for _ in 0..100 {
+            rw.advance(10.0, &bounds, &mut rng);
+        }
+        assert_eq!(rw.position(), Position::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty rectangle")]
+    fn reversed_bounds_are_rejected() {
+        let _ = Bounds::new(Position::new(1.0, 0.0), Position::new(0.0, 1.0));
     }
 
     #[test]

@@ -154,6 +154,60 @@ fn micro_fig11() -> charisma::Campaign {
     campaign
 }
 
+/// The registry's `multicell_baseline` campaign, miniaturised: the full
+/// 7-cell hex system with mobility, path loss and handoff, but two
+/// protocols, one grid point and a short budget so the thread matrix stays
+/// inside unit-test time.
+fn mini_multicell() -> charisma::Campaign {
+    let mut campaign = registry::build_campaign("multicell_baseline", BenchProfile::Quick)
+        .expect("multicell_baseline is a sweep campaign");
+    for spec in &mut campaign.specs {
+        spec.protocols = vec![ProtocolKind::Charisma, ProtocolKind::DTdmaFr];
+        spec.voice_users = vec![8];
+        spec.data_users = vec![2];
+    }
+    campaign
+}
+
+#[test]
+fn multicell_campaign_csv_bytes_are_identical_across_runs_and_threads() {
+    // The multi-cell acceptance property: a system run (cells, mobility,
+    // path loss, handoff) is one sequential unit of work per sweep point,
+    // so its campaign CSV — and every handoff counter behind it — is
+    // byte-identical across repeats and across sweep worker counts.
+    let campaign = mini_multicell();
+    let serial = campaign.run(mini_budget(), 1).unwrap();
+    let again = campaign.run(mini_budget(), 1).unwrap();
+    let parallel = campaign.run(mini_budget(), 4).unwrap();
+    assert_eq!(
+        serial.to_csv(),
+        again.to_csv(),
+        "multicell campaign CSV differs across runs"
+    );
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "multicell campaign CSV must not depend on the sweep thread count"
+    );
+    // The handoff counters (not part of the uniform CSV) must agree too.
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(
+            s.report.metrics.handoff, p.report.metrics.handoff,
+            "handoff counters differ across thread counts"
+        );
+        assert_eq!(s.report.metrics.per_cell, p.report.metrics.per_cell);
+        assert_eq!(s.report.metrics.per_cell.len(), 7, "7-cell system expected");
+    }
+    // Terminals actually roam in this miniature too.
+    assert!(
+        serial
+            .rows
+            .iter()
+            .all(|r| r.report.metrics.handoff.successes > 0),
+        "expected nonzero handoffs in every row"
+    );
+}
+
 #[test]
 fn replicated_campaign_csv_bytes_are_identical_across_runs_and_threads() {
     // The replication engine on the real fig11 campaign shape: every point
