@@ -403,6 +403,23 @@ fn gate_all(profile: BenchProfile, threads: usize, tolerance: f64) -> ExitCode {
         println!("{name:<20} {:<6} {detail}", outcome.status());
     }
     println!();
+    let skipped = outcomes.len() - gated - errors;
+    let verdict = if failures > 0 {
+        "FAIL"
+    } else if errors > 0 {
+        "ERROR"
+    } else {
+        "PASS"
+    };
+    // The one-line machine-readable summary CI uploads as an artifact.
+    let summary = format!(
+        "gate all [{} profile, tolerance {tolerance}]: {verdict} — \
+         {gated} gated, {failures} failed, {errors} errors, {skipped} skipped\n",
+        profile.label()
+    );
+    if let Err(e) = charisma_bench::write_output("GATE_summary.txt", &summary) {
+        eprintln!("campaign gate: could not write GATE_summary.txt: {e}");
+    }
     if failures > 0 {
         eprintln!("gate all: FAIL ({failures} of {gated} gated entries regressed)");
         ExitCode::FAILURE

@@ -16,8 +16,10 @@
 //!   The fresh record is written to `results/GATE_frame_loop.json` (never
 //!   the committed baseline path).
 //! * **Sweep campaigns** — any sweep entry whose primary CSV exists at the
-//!   baseline path (by default `results/<output>` from an earlier
-//!   `campaign run`).  The fresh run must reproduce every row key —
+//!   baseline path (by default `results/<output>` for the standard profile
+//!   and `results/quick/<output>` for the quick profile the CI gate runs
+//!   under; see [`default_baseline_file`]).  The fresh run must reproduce
+//!   every row key —
 //!   coordinates *and* replication count, so a baseline generated under
 //!   different grids or a different replication policy (the usual symptoms
 //!   of a profile mismatch) is an error rather than a bogus comparison —
@@ -328,7 +330,7 @@ pub fn run_gate(
     if name == "bench_frame_loop" {
         return gate_bench_frame_loop(tolerance, baseline_override);
     }
-    let entry = registry::find(name).ok_or_else(|| {
+    registry::find(name).ok_or_else(|| {
         format!(
             "unknown scenario \"{name}\" — registered scenarios: {}",
             registry::names().join(", ")
@@ -342,8 +344,12 @@ pub fn run_gate(
     })?;
     let baseline_path = baseline_override
         .map(Path::to_path_buf)
-        .unwrap_or_else(|| output_dir().join(entry.outputs[0]));
-    let baseline_csv = read_baseline(&baseline_path, &format!("campaign run {name}"))?;
+        .or_else(|| default_baseline_file(name, profile))
+        .ok_or_else(|| format!("no default baseline location for \"{name}\""))?;
+    let baseline_csv = read_baseline(
+        &baseline_path,
+        &format!("campaign run {name} --profile {}", profile.label()),
+    )?;
     println!(
         "gate {name}: re-running {} sweep points [{} profile] against {}",
         campaign
@@ -527,7 +533,7 @@ pub fn run_gate_all(
             ));
             continue;
         }
-        let baseline = default_baseline_file(name).expect("known entry");
+        let baseline = default_baseline_file(name, profile).expect("known entry");
         let text = match std::fs::read_to_string(&baseline) {
             Ok(text) => text,
             Err(_) => {
@@ -563,15 +569,30 @@ pub fn run_gate_all(
     outcomes
 }
 
-/// The gate's target for `name`: what baseline file it compares against.
-pub fn default_baseline_file(name: &str) -> Option<PathBuf> {
+/// The gate's target for `name` at `profile`: what baseline file it
+/// compares against.
+///
+/// Sweep grids, frame budgets and replication policies all depend on the
+/// profile, so a fresh quick run can never be compared against a
+/// standard-profile CSV — the row sets differ by construction.  The
+/// committed baselines therefore live in per-profile trees: the canonical
+/// standard-profile CSVs directly under `results/`, and a quick-profile
+/// tree under `results/quick/` for the CI gate (regenerated together; see
+/// the handbook).  The frame-loop perf baseline is profile-independent
+/// here because the bench gate always measures the standard reference
+/// scenario regardless of `--profile`.
+pub fn default_baseline_file(name: &str, profile: BenchProfile) -> Option<PathBuf> {
     if name == "bench_frame_loop" {
         return Some(output_dir().join(bench_frame_loop_file(
             BenchProfile::Standard,
             BaselineWrite::Allowed,
         )));
     }
-    registry::find(name).map(|e| output_dir().join(e.outputs[0]))
+    let dir = match profile {
+        BenchProfile::Quick => output_dir().join("quick"),
+        _ => output_dir(),
+    };
+    registry::find(name).map(|e| dir.join(e.outputs[0]))
 }
 
 #[cfg(test)]

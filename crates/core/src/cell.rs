@@ -11,14 +11,17 @@
 //! [`crate::system::SystemWorld`].
 //!
 //! Stream derivation: cell `k` draws its estimator and base-station streams
-//! from entity `u32::MAX − k`, so cell 0 reproduces the historical
-//! single-cell streams bit for bit and cells never collide with terminal
-//! entities (which count up from 0).
+//! from entity [`StreamId::cell_entity`]`(k) = u32::MAX − k`, so cell 0
+//! reproduces the historical single-cell streams bit for bit and cells never
+//! collide with terminal entities (which count up from 0).  Because every
+//! cell owns an independent sub-stream family, cells can step in parallel
+//! within a frame without sharing a generator — the property the sharded
+//! [`crate::system::SystemWorld`] path builds on.
 
 use crate::config::SimConfig;
 use crate::protocols::UplinkMac;
-use crate::terminal::{FrameTraffic, Terminal};
-use crate::world::{FrameScratch, FrameWorld};
+use crate::terminal::FrameTraffic;
+use crate::world::{FrameScratch, FrameWorld, TerminalTable};
 use charisma_des::{RngStreams, StreamId, Xoshiro256StarStar};
 use charisma_metrics::RunMetrics;
 use charisma_radio::CsiEstimator;
@@ -44,7 +47,7 @@ impl Cell {
         index: u32,
         members: Vec<TerminalId>,
     ) -> Self {
-        let entity = u32::MAX - index;
+        let entity = StreamId::cell_entity(index);
         Cell {
             index,
             members,
@@ -113,23 +116,30 @@ impl Cell {
     /// Executes one uplink frame of this cell: assembles the [`FrameWorld`]
     /// over the (global) terminal population restricted to this cell's
     /// members and runs the MAC.  `traffic` and `terminals` span the whole
-    /// system, indexed by terminal id.
-    pub fn step(
+    /// system, indexed by terminal id; `terminals` is anything convertible
+    /// into a [`TerminalTable`] — a plain `&mut [Terminal]` on the
+    /// single-threaded paths, a raw table over the shared population when
+    /// cells of a sharded [`crate::system::SystemWorld`] step in parallel.
+    pub fn step<'a>(
         &mut self,
         frame: u64,
         config: &SimConfig,
         measuring: bool,
         traffic: &[FrameTraffic],
-        terminals: &mut [Terminal],
+        terminals: impl Into<TerminalTable<'a>>,
         mac: &mut dyn UplinkMac,
     ) {
+        // Re-borrow the table so the world's borrows end with this frame
+        // (passing `terminals` straight through would tie every borrow in
+        // the world to the caller-supplied lifetime `'a`).
+        let mut table = terminals.into();
         let mut world = FrameWorld::new(
             frame,
             config,
             measuring,
             traffic,
             &self.members,
-            terminals,
+            table.reborrow(),
             &mut self.metrics,
             &mut self.estimator,
             &mut self.bs_rng,

@@ -75,7 +75,7 @@ pub use sweep::{
     data_load_sweep, run_sweep, run_sweep_replicated, voice_load_sweep, ReplicatedResult,
     ReplicationPolicy, SweepPoint, SweepResult,
 };
-pub use system::{cell_centers, flat_path_loss, layout_bounds, SystemWorld};
+pub use system::{cell_centers, flat_path_loss, hex_cells_for_rings, layout_bounds, SystemWorld};
 pub use terminal::{FrameTraffic, Terminal};
 pub use world::{DataTx, FrameScratch, FrameWorld, LinkAdaptation, VoiceTx};
 

@@ -31,7 +31,12 @@ use charisma_traffic::TerminalId;
 use serde::{Deserialize, Serialize};
 
 /// A MAC protocol driven frame-synchronously by the scenario runner.
-pub trait UplinkMac {
+///
+/// `Send` is a supertrait because the sharded multi-cell path steps cells —
+/// each owning one MAC instance — on worker threads; protocol state must be
+/// plain data (no `Rc`, no thread affinity), which every implementation here
+/// satisfies by construction.
+pub trait UplinkMac: Send {
     /// Human-readable protocol name as used in the paper's figures.
     fn name(&self) -> &'static str;
 

@@ -240,6 +240,10 @@ pub struct ScenarioSpec {
     pub layout: Layout,
     /// Handoff admission behaviour (multi-cell specs only).
     pub handoff: HandoffConfig,
+    /// Intra-point worker threads for the sharded system frame loop
+    /// (multi-cell specs only; 0 or 1 selects the round-robin path).  An
+    /// execution hint: reports are byte-identical at any value.
+    pub system_threads: u32,
 }
 
 impl ScenarioSpec {
@@ -264,6 +268,7 @@ impl ScenarioSpec {
             cells: 1,
             layout: Layout::default(),
             handoff: HandoffConfig::default(),
+            system_threads: 0,
         }
     }
 
@@ -335,13 +340,16 @@ impl ScenarioSpec {
             )));
         }
         if self.cells == 1
-            && (self.layout != Layout::default() || self.handoff != HandoffConfig::default())
+            && (self.layout != Layout::default()
+                || self.handoff != HandoffConfig::default()
+                || self.system_threads > 0)
         {
-            // The serialiser omits layout/handoff for single-cell specs, so a
-            // non-default value here would be dropped silently on round-trip;
-            // refuse it instead (it has no effect on a single-cell run).
+            // The serialiser omits layout/handoff/system_threads for
+            // single-cell specs, so a non-default value here would be dropped
+            // silently on round-trip; refuse it instead (it has no effect on
+            // a single-cell run).
             return Err(err(format!(
-                "{}: layout/handoff settings are only meaningful with cells > 1",
+                "{}: layout/handoff/system_threads settings are only meaningful with cells > 1",
                 self.name
             )));
         }
@@ -505,6 +513,7 @@ impl ScenarioSpec {
                 layout: self.layout,
                 handoff: self.handoff,
                 path_loss: PathLossConfig::default(),
+                threads: self.system_threads,
             });
         }
         CampaignPoint {
@@ -567,6 +576,12 @@ impl ScenarioSpec {
             pairs.push(("cells".into(), Json::Int(self.cells as u64)));
             pairs.push(("layout".into(), layout_to_json(&self.layout)));
             pairs.push(("handoff".into(), handoff_to_json(&self.handoff)));
+            if self.system_threads > 0 {
+                pairs.push((
+                    "system_threads".into(),
+                    Json::Int(self.system_threads as u64),
+                ));
+            }
         }
         if let Some(seed) = self.seed {
             pairs.push(("seed".into(), Json::Int(seed)));
@@ -675,6 +690,14 @@ impl ScenarioSpec {
                 "handoff" => {
                     spec.handoff = handoff_from_json(v)?;
                     saw_handoff = true;
+                }
+                "system_threads" => {
+                    spec.system_threads = v
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            err("\"system_threads\" must be an unsigned 32-bit integer")
+                        })?;
                 }
                 unknown => {
                     return Err(err(format!(

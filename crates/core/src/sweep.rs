@@ -204,6 +204,14 @@ pub fn run_sweep(points: Vec<SweepPoint>, threads: usize) -> Vec<SweepResult> {
 /// returned in the same order as `points`, and — because all replications of
 /// a point run inside the worker that owns the point — are byte-identical
 /// across thread counts.
+///
+/// This is *inter*-point parallelism.  Multi-cell points can additionally
+/// parallelise *within* a point via [`SystemConfig::threads`]
+/// (`system_threads` in scenario specs), which shards the cells of one
+/// frame across workers on the deterministic wavefront documented in
+/// [`crate::system`]; both levels compose and neither changes output bytes.
+///
+/// [`SystemConfig::threads`]: crate::config::SystemConfig::threads
 pub fn run_sweep_replicated(
     points: Vec<(SweepPoint, ReplicationPolicy)>,
     threads: usize,

@@ -3,21 +3,39 @@
 //! The paper evaluates its protocols inside one cell; [`SystemWorld`]
 //! generalises the platform to N cells on a hex or corridor layout
 //! ([`Layout`]).  Each cell is an independent [`Cell`] — its own MAC
-//! instance, CSI estimator, base-station stream, scratch buffers and metrics
-//! — stepped **round-robin within one run**, so a multi-cell run is still a
-//! single sequential unit of work for the sweep executor and stays
-//! byte-deterministic for any (seed, cell count, sweep thread count).
+//! instance, CSI estimator, base-station stream (derived from the run seed
+//! and the cell id, see [`charisma_des::StreamId::cell_entity`]), scratch
+//! buffers and metrics.
 //!
-//! Per frame the world:
+//! # The sharded wavefront
 //!
-//! 1. advances every terminal's traffic sources (exactly the single-cell
-//!    boundary code, with counters attributed to the serving cell),
-//! 2. advances every terminal's random-waypoint motion, re-points its mean
-//!    SNR from the distance to its serving base station
-//!    ([`PathLossConfig`]), and attempts a handoff when a different base
-//!    station has become closer (with hysteresis) — admitting, queueing or
-//!    refusing it per [`crate::config::HandoffConfig`],
-//! 3. steps each cell's MAC over its current membership.
+//! Every frame advances through four phases.  Two are *serial* (they touch
+//! cross-cell state) and two are *parallel over cells* (they touch only one
+//! cell's members and its own accumulators), which is what lets city-scale
+//! layouts step their cells on worker threads inside one sweep point:
+//!
+//! 1. **Queue drain** (serial): cells with room admit terminals parked in
+//!    their handoff admission queues, oldest first.
+//! 2. **Roam** (parallel per cell): each member's traffic sources advance
+//!    (counters attributed to the serving cell), its random-waypoint motion
+//!    steps, its mean SNR is re-pointed from the distance to its serving
+//!    base station ([`PathLossConfig`]), and — when a different base station
+//!    has become closer by the hysteresis margin — a handoff attempt is
+//!    recorded in the cell's **mailbox**.  Nothing cross-cell is touched.
+//! 3. **Merge** (serial): the mailboxes are applied in cell-id order —
+//!    queue departures first-come, attempts admitted, queued or refused per
+//!    [`crate::config::HandoffConfig`] — and the per-cell streaming
+//!    statistics (occupancy, admission-queue length) are folded.
+//! 4. **MAC step** (parallel per cell): each cell's MAC runs one uplink
+//!    frame over its current membership.
+//!
+//! Both execution paths — the single-threaded round-robin loop and the
+//! sharded loop with [`SystemConfig::threads`] workers — run exactly these
+//! phases.  The parallel phases are order-independent across cells (every
+//! random draw comes from a per-terminal or per-cell stream, every counter
+//! lands in the acting cell's own accumulator) and the serial phases apply
+//! cross-cell effects in deterministic cell-id order, so a run's report is
+//! **byte-identical at any thread count**; the determinism suite pins this.
 //!
 //! Terminal ids are global (`cell · per_cell + local`), so a terminal keeps
 //! its traffic, channel and contention streams across handoffs: migrating
@@ -34,11 +52,13 @@ use crate::config::{HandoffAdmission, Layout, SimConfig, SystemConfig};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::scenario::RunReport;
 use crate::terminal::{FrameTraffic, Terminal};
+use crate::world::TerminalTable;
 use charisma_des::{RngStreams, StreamId, Xoshiro256StarStar};
-use charisma_metrics::{CellCounters, HandoffStats, RunMetrics};
+use charisma_metrics::{CellCounters, HandoffStats, RunMetrics, RunningStat};
 use charisma_radio::{Bounds, PathLossConfig, Position, RandomWaypoint};
 use charisma_traffic::{TerminalClass, TerminalId};
 use std::collections::VecDeque;
+use std::sync::Barrier;
 
 /// The cell centers of a layout, in cell-index order.
 ///
@@ -82,9 +102,26 @@ pub fn cell_centers(layout: &Layout, cells: u32) -> Vec<Position> {
     }
 }
 
+/// Number of cells in a hex city of `rings` complete rings around the center
+/// cell: `1 + 3·rings·(rings + 1)` (0 rings → 1 cell, 1 → 7, 2 → 19, …,
+/// 6 → 127).  Pass the result as the cell count of a [`Layout::Hex`] system
+/// to get a fully filled hexagonal city grid — the shape the `city_scale`
+/// campaign uses for its 100+-cell runs.
+pub const fn hex_cells_for_rings(rings: u32) -> u32 {
+    1 + 3 * rings * (rings + 1)
+}
+
 /// The motion bounds of a layout: the bounding box of the cell centers,
-/// expanded by one cell radius on every side.
+/// expanded by one cell radius on every side.  An empty center list yields
+/// the single-cell box around the origin (rather than an unusable infinite
+/// box).
 pub fn layout_bounds(centers: &[Position], cell_radius_m: f64) -> Bounds {
+    if centers.is_empty() {
+        return Bounds::new(
+            Position::new(-cell_radius_m, -cell_radius_m),
+            Position::new(cell_radius_m, cell_radius_m),
+        );
+    }
     let mut min = Position::new(f64::INFINITY, f64::INFINITY);
     let mut max = Position::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
     for c in centers {
@@ -120,6 +157,39 @@ struct RoamState {
     attempt_measured: bool,
 }
 
+/// A cross-cell effect recorded during the parallel roam phase and applied
+/// in the serial merge (see the [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+enum RoamEvent {
+    /// The terminal roamed out of the region it was queued for; remove it
+    /// from `waiting`'s admission queue.
+    LeaveQueue {
+        /// The departing terminal.
+        id: TerminalId,
+        /// The cell whose queue it was parked in.
+        waiting: u32,
+    },
+    /// A handoff attempt towards `target`, to be admitted, queued or
+    /// refused by the merge.
+    Attempt {
+        /// The attempting terminal.
+        id: TerminalId,
+        /// The cell that has become nearest.
+        target: u32,
+        /// Whether the attempt falls inside the measured interval (gates
+        /// every counter this attempt ever touches, including a queued
+        /// admission resolved frames later).
+        measured: bool,
+    },
+}
+
+/// One cell's per-frame mailbox: the cross-cell effects its members
+/// produced during the parallel roam phase, in member order.
+#[derive(Debug, Default)]
+struct CellMailbox {
+    events: Vec<RoamEvent>,
+}
+
 /// A multi-cell run, ready to execute (see the [module docs](self)).
 pub struct SystemWorld {
     config: SimConfig,
@@ -132,11 +202,18 @@ pub struct SystemWorld {
     centers: Vec<Position>,
     bounds: Bounds,
     roam: Vec<RoamState>,
+    /// Per-cell handoff mailboxes, reused frame after frame.
+    mailboxes: Vec<CellMailbox>,
     /// Per-cell handoff admission queues (the `Queue` policy).
     queues: Vec<VecDeque<TerminalId>>,
     handoff: HandoffStats,
     handoff_in: Vec<u64>,
     handoff_out: Vec<u64>,
+    /// Streaming per-cell occupancy, folded once per measured frame.
+    occupancy: Vec<RunningStat>,
+    /// Streaming per-cell admission-queue length, folded once per measured
+    /// frame.
+    queue_len: Vec<RunningStat>,
 }
 
 impl SystemWorld {
@@ -230,10 +307,13 @@ impl SystemWorld {
             centers,
             bounds,
             roam,
+            mailboxes: (0..n_cells).map(|_| CellMailbox::default()).collect(),
             queues: vec![VecDeque::new(); n_cells],
             handoff: HandoffStats::default(),
             handoff_in: vec![0; n_cells],
             handoff_out: vec![0; n_cells],
+            occupancy: vec![RunningStat::new(); n_cells],
+            queue_len: vec![RunningStat::new(); n_cells],
         }
     }
 
@@ -260,201 +340,77 @@ impl SystemWorld {
         ids
     }
 
-    /// Whether `cell` can admit one more terminal.
-    fn has_room(&self, cell: u32) -> bool {
-        let cap = self.system.handoff.cell_capacity;
-        cap == 0 || (self.cells[cell as usize].member_count() as u32) < cap
-    }
-
-    /// Migrates terminal `i` from its serving cell to `target`: the old MAC
-    /// forgets it, its buffered voice packets are lost to the hard-handoff
-    /// link interruption, it draws a fresh site-shadowing offset for the new
-    /// link, and its mean SNR is re-pointed at the new base station
-    /// immediately (the new cell's MAC must never serve it through the old
-    /// cell's path loss).
-    ///
-    /// `count_flow` gates the success/flow counters: it is the `measuring`
-    /// flag of the frame that *recorded the attempt*, so
-    /// attempts ≥ successes and inflow = outflow = successes hold exactly,
-    /// even for attempts queued across the warm-up boundary.
-    fn migrate(&mut self, i: usize, target: u32, count_flow: bool, measuring_drops: bool) {
-        let id = TerminalId(i as u32);
-        let old = self.roam[i].serving;
-        debug_assert_ne!(old, target);
-        self.cells[old as usize].detach(id);
-        self.macs[old as usize].forget_terminal(id);
-        let dropped = self.terminals[i].drop_buffered_voice() as u64;
-        if measuring_drops {
-            self.cells[old as usize].metrics_mut().voice.dropped_handoff += dropped;
-        }
-        if count_flow {
-            self.handoff.successes += 1;
-            self.handoff_out[old as usize] += 1;
-            self.handoff_in[target as usize] += 1;
-        }
-        self.cells[target as usize].attach(id);
-        {
-            let roam = &mut self.roam[i];
-            roam.serving = target;
-            roam.queued_for = None;
-            roam.shadow_db = self.system.path_loss.draw_site_shadow_db(&mut roam.rng);
-        }
-        let d = self.roam[i]
-            .motion
-            .position()
-            .distance_m(self.centers[target as usize]);
-        self.terminals[i]
-            .set_mean_snr_db(self.system.path_loss.mean_snr_db(d) + self.roam[i].shadow_db);
-    }
-
-    /// Admits queued terminals into every cell that has room, oldest first.
-    fn drain_admission_queues(&mut self, measuring_drops: bool) {
-        for c in 0..self.cells.len() as u32 {
-            while self.has_room(c) {
-                let Some(id) = self.queues[c as usize].pop_front() else {
-                    break;
-                };
-                let i = id.index() as usize;
-                if self.roam[i].queued_for != Some(c) {
-                    continue; // stale entry: the terminal roamed elsewhere
-                }
-                // The admission resolves the attempt recorded at enqueue
-                // time; count it exactly when that attempt was counted.
-                let counted = self.roam[i].attempt_measured;
-                self.migrate(i, c, counted, measuring_drops);
-            }
-        }
-    }
-
-    /// One terminal's mobility step: motion, mean-SNR update, and (when a
-    /// different base station has become closer by the hysteresis margin) a
-    /// handoff attempt.
-    fn roam_terminal(
-        &mut self,
-        i: usize,
-        frame: u64,
-        dt_secs: f64,
-        measuring: bool,
-        measuring_drops: bool,
-    ) {
-        let id = TerminalId(i as u32);
-        {
-            let roam = &mut self.roam[i];
-            roam.motion.advance(dt_secs, &self.bounds, &mut roam.rng);
-        }
-        let pos = self.roam[i].motion.position();
-        let serving = self.roam[i].serving;
-        let d_serving = pos.distance_m(self.centers[serving as usize]);
-        self.terminals[i]
-            .set_mean_snr_db(self.system.path_loss.mean_snr_db(d_serving) + self.roam[i].shadow_db);
-
-        // Nearest base station (Voronoi cell of the current position).
-        let (nearest, d_nearest) = self
-            .centers
-            .iter()
-            .enumerate()
-            .map(|(c, &center)| (c as u32, pos.distance_m(center)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("a system has at least one cell");
-
-        // Leaving a queue: the terminal roamed back into its serving cell's
-        // Voronoi region (or towards a third cell) before being admitted.
-        if let Some(waiting) = self.roam[i].queued_for {
-            if nearest == serving || nearest != waiting {
-                self.queues[waiting as usize].retain(|&t| t != id);
-                self.roam[i].queued_for = None;
-            }
-        }
-
-        if nearest == serving
-            || d_serving - d_nearest <= self.system.handoff.hysteresis_m
-            || frame < self.roam[i].retry_at
-            || self.roam[i].queued_for == Some(nearest)
-        {
-            return;
-        }
-
-        if measuring {
-            self.handoff.attempts += 1;
-        }
-        if self.has_room(nearest) {
-            self.migrate(i, nearest, measuring, measuring_drops);
-            return;
-        }
-        match self.system.handoff.admission {
-            HandoffAdmission::Queue => {
-                self.queues[nearest as usize].push_back(id);
-                self.roam[i].queued_for = Some(nearest);
-                self.roam[i].attempt_measured = measuring;
-                if measuring {
-                    self.handoff.queued += 1;
-                }
-            }
-            HandoffAdmission::DropOnFull => {
-                // The interrupted call of classical telephony: the target is
-                // full, the packets in flight are lost, and the terminal
-                // limps along on its old (distant) link until a retry.
-                let dropped = self.terminals[i].drop_buffered_voice() as u64;
-                if measuring_drops {
-                    self.cells[serving as usize]
-                        .metrics_mut()
-                        .voice
-                        .dropped_handoff += dropped;
-                }
-                if measuring {
-                    self.handoff.failures += 1;
-                }
-                self.roam[i].retry_at = frame + self.system.handoff.retry_frames;
-            }
-        }
-    }
-
     /// Executes the run and produces the system-level report: every cell's
     /// counters merged, plus the handoff statistics and per-cell breakdown.
+    ///
+    /// With [`SystemConfig::threads`] ≤ 1 the frame phases run round-robin
+    /// on the calling thread; otherwise cells are dealt to that many worker
+    /// threads.  Both paths execute identical phase code in an identical
+    /// order of effect, so the report — and every CSV rendered from it — is
+    /// byte-identical regardless of the thread count.
     pub fn run(&mut self) -> RunReport {
         let total = self.config.total_frames();
+        let warmup = self.config.warmup_frames;
         let drop_grace = self
             .config
             .clock()
             .frames_per(self.config.voice_source.deadline);
-        let dt_secs = self.config.frame.frame_duration.as_secs_f64();
+        let n_cells = self.cells.len();
+        let threads = (self.system.threads.max(1) as usize).min(n_cells);
 
-        for frame in 0..total {
-            let measuring = frame >= self.config.warmup_frames;
-            let measuring_drops = frame >= self.config.warmup_frames + drop_grace;
+        {
+            let grid = ShardGrid {
+                cells: self.cells.as_mut_ptr(),
+                macs: self.macs.as_mut_ptr(),
+                roam: self.roam.as_mut_ptr(),
+                terminals: self.terminals.as_mut_ptr(),
+                traffic: self.traffic.as_mut_ptr(),
+                mailboxes: self.mailboxes.as_mut_ptr(),
+                n_cells,
+                n_terminals: self.terminals.len(),
+            };
+            let ctx = FrameCtx {
+                config: &self.config,
+                system: &self.system,
+                centers: &self.centers,
+                bounds: &self.bounds,
+                dt_secs: self.config.frame.frame_duration.as_secs_f64(),
+            };
+            let mut serial = SerialState {
+                queues: &mut self.queues,
+                handoff: &mut self.handoff,
+                handoff_in: &mut self.handoff_in,
+                handoff_out: &mut self.handoff_out,
+                occupancy: &mut self.occupancy,
+                queue_len: &mut self.queue_len,
+            };
 
-            // 1. Traffic and channel boundaries, attributed to serving cells.
-            for i in 0..self.terminals.len() {
-                let tr = self.terminals[i].begin_frame(frame);
-                self.traffic[i] = tr;
-                if measuring {
-                    let metrics = self.cells[self.roam[i].serving as usize].metrics_mut();
-                    if tr.voice_packet_generated {
-                        metrics.voice.generated += 1;
+            if threads <= 1 {
+                for frame in 0..total {
+                    let measuring = frame >= warmup;
+                    let measuring_drops = frame >= warmup + drop_grace;
+                    // SAFETY: a single thread executes every phase, so each
+                    // one has exclusive access to the whole grid.
+                    unsafe {
+                        drain_admission_queues(&grid, &mut serial, &ctx, measuring_drops);
+                        for c in 0..n_cells {
+                            roam_phase(&grid, &ctx, c, frame, measuring, measuring_drops);
+                        }
+                        merge_mailboxes(
+                            &grid,
+                            &mut serial,
+                            &ctx,
+                            frame,
+                            measuring,
+                            measuring_drops,
+                        );
+                        for c in 0..n_cells {
+                            mac_phase(&grid, &ctx, c, frame, measuring);
+                        }
                     }
-                    if measuring_drops {
-                        metrics.voice.dropped_deadline += tr.voice_packets_dropped as u64;
-                    }
-                    metrics.data.arrived += tr.data_packets_arrived as u64;
                 }
-            }
-
-            // 2. Mobility, path loss and handoff.
-            self.drain_admission_queues(measuring_drops);
-            for i in 0..self.terminals.len() {
-                self.roam_terminal(i, frame, dt_secs, measuring, measuring_drops);
-            }
-
-            // 3. Step every cell's MAC round-robin.
-            for (cell, mac) in self.cells.iter_mut().zip(self.macs.iter_mut()) {
-                cell.step(
-                    frame,
-                    &self.config,
-                    measuring,
-                    &self.traffic,
-                    &mut self.terminals,
-                    mac.as_mut(),
-                );
+            } else {
+                run_sharded(&grid, &mut serial, &ctx, threads, total, warmup, drop_grace);
             }
         }
 
@@ -484,6 +440,8 @@ impl SystemWorld {
                 slots: cell.metrics().slots,
                 handoff_in: self.handoff_in[c],
                 handoff_out: self.handoff_out[c],
+                occupancy: self.occupancy[c],
+                admission_queue: self.queue_len[c],
             })
             .collect();
 
@@ -496,6 +454,483 @@ impl SystemWorld {
             metrics,
         }
     }
+}
+
+/// Immutable per-run inputs shared by every frame phase.
+struct FrameCtx<'a> {
+    config: &'a SimConfig,
+    system: &'a SystemConfig,
+    centers: &'a [Position],
+    bounds: &'a Bounds,
+    dt_secs: f64,
+}
+
+/// The cross-cell state only the serial phases (queue drain, merge) touch.
+/// Worker threads never see it, so it needs no synchronisation at all.
+struct SerialState<'a> {
+    queues: &'a mut [VecDeque<TerminalId>],
+    handoff: &'a mut HandoffStats,
+    handoff_in: &'a mut [u64],
+    handoff_out: &'a mut [u64],
+    occupancy: &'a mut [RunningStat],
+    queue_len: &'a mut [RunningStat],
+}
+
+/// Raw per-element view over the shard state, shared by every thread of a
+/// run.
+///
+/// Holding plain `&mut` slices here would make the two parallel phases
+/// instant undefined behaviour (each worker needs mutable access into the
+/// same vectors), so the grid stores base pointers and materialises
+/// per-element references on demand.  Soundness rests on two invariants,
+/// both enforced by the frame structure:
+///
+/// * **spatial**: during a parallel phase, worker `w` only touches cells
+///   `c ≡ w (mod threads)` and their members, and the cell membership is a
+///   partition of the terminals — disjoint elements, no overlap;
+/// * **temporal**: the serial phases run strictly between barriers while
+///   every worker is parked, so they have the whole grid to themselves.
+struct ShardGrid {
+    cells: *mut Cell,
+    macs: *mut Box<dyn UplinkMac>,
+    roam: *mut RoamState,
+    terminals: *mut Terminal,
+    traffic: *mut FrameTraffic,
+    mailboxes: *mut CellMailbox,
+    n_cells: usize,
+    n_terminals: usize,
+}
+
+// SAFETY: the grid is a bundle of pointers into state owned by the
+// `SystemWorld` that outlives the scoped worker threads; every pointee type
+// is `Send` (asserted below), and access discipline is documented on the
+// struct.
+unsafe impl Send for ShardGrid {}
+unsafe impl Sync for ShardGrid {}
+
+// Everything the worker threads reach through the grid must be `Send`
+// (`Box<dyn UplinkMac>` is, because the trait has a `Send` supertrait).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cell>();
+    assert_send::<Box<dyn UplinkMac>>();
+    assert_send::<RoamState>();
+    assert_send::<Terminal>();
+    assert_send::<FrameTraffic>();
+    assert_send::<CellMailbox>();
+};
+
+// Returning `&mut` from `&self` is the point of the grid: exclusivity is
+// guaranteed by the phase discipline (see the struct docs), not by the
+// borrow checker.
+#[allow(clippy::mut_from_ref)]
+impl ShardGrid {
+    /// # Safety
+    ///
+    /// The caller must hold exclusive access to cell `c` under the grid's
+    /// access discipline and must not overlap this reference with another
+    /// one to the same cell.
+    unsafe fn cell(&self, c: usize) -> &mut Cell {
+        debug_assert!(c < self.n_cells);
+        &mut *self.cells.add(c)
+    }
+
+    /// # Safety
+    ///
+    /// As [`ShardGrid::cell`], for cell `c`'s MAC instance.
+    unsafe fn mac(&self, c: usize) -> &mut Box<dyn UplinkMac> {
+        debug_assert!(c < self.n_cells);
+        &mut *self.macs.add(c)
+    }
+
+    /// # Safety
+    ///
+    /// As [`ShardGrid::cell`], for cell `c`'s mailbox.
+    unsafe fn mailbox(&self, c: usize) -> &mut CellMailbox {
+        debug_assert!(c < self.n_cells);
+        &mut *self.mailboxes.add(c)
+    }
+
+    /// # Safety
+    ///
+    /// The caller must hold exclusive access to terminal `i`'s roam state
+    /// (`i` must belong to a cell the caller owns during a parallel phase).
+    unsafe fn roam(&self, i: usize) -> &mut RoamState {
+        debug_assert!(i < self.n_terminals);
+        &mut *self.roam.add(i)
+    }
+
+    /// # Safety
+    ///
+    /// As [`ShardGrid::roam`], for the terminal itself.
+    unsafe fn terminal(&self, i: usize) -> &mut Terminal {
+        debug_assert!(i < self.n_terminals);
+        &mut *self.terminals.add(i)
+    }
+
+    /// # Safety
+    ///
+    /// As [`ShardGrid::roam`], for the terminal's traffic slot.
+    unsafe fn traffic_mut(&self, i: usize) -> &mut FrameTraffic {
+        debug_assert!(i < self.n_terminals);
+        &mut *self.traffic.add(i)
+    }
+
+    /// # Safety
+    ///
+    /// Only valid while no thread writes any traffic slot (the MAC phase:
+    /// traffic was fully written in the roam phase and is read-only until
+    /// the next frame).
+    unsafe fn traffic_slice(&self) -> &[FrameTraffic] {
+        std::slice::from_raw_parts(self.traffic, self.n_terminals)
+    }
+}
+
+/// Whether `cell` can admit one more terminal.
+///
+/// # Safety
+///
+/// Serial phases only (reads membership of an arbitrary cell).
+unsafe fn has_room(grid: &ShardGrid, ctx: &FrameCtx<'_>, cell: u32) -> bool {
+    let cap = ctx.system.handoff.cell_capacity;
+    cap == 0 || (grid.cell(cell as usize).member_count() as u32) < cap
+}
+
+/// Migrates terminal `i` from its serving cell to `target`: the old MAC
+/// forgets it, its buffered voice packets are lost to the hard-handoff link
+/// interruption, it draws a fresh site-shadowing offset for the new link,
+/// and its mean SNR is re-pointed at the new base station immediately (the
+/// new cell's MAC must never serve it through the old cell's path loss).
+///
+/// `count_flow` gates the success/flow counters: it is the `measuring` flag
+/// of the frame that *recorded the attempt*, so attempts ≥ successes and
+/// inflow = outflow = successes hold exactly, even for attempts queued
+/// across the warm-up boundary.
+///
+/// # Safety
+///
+/// Serial phases only (touches two cells and the shared counters).
+unsafe fn migrate(
+    grid: &ShardGrid,
+    serial: &mut SerialState<'_>,
+    ctx: &FrameCtx<'_>,
+    i: usize,
+    target: u32,
+    count_flow: bool,
+    measuring_drops: bool,
+) {
+    let id = TerminalId(i as u32);
+    let old = grid.roam(i).serving;
+    debug_assert_ne!(old, target);
+    grid.cell(old as usize).detach(id);
+    grid.mac(old as usize).forget_terminal(id);
+    let dropped = grid.terminal(i).drop_buffered_voice() as u64;
+    if measuring_drops {
+        grid.cell(old as usize).metrics_mut().voice.dropped_handoff += dropped;
+    }
+    if count_flow {
+        serial.handoff.successes += 1;
+        serial.handoff_out[old as usize] += 1;
+        serial.handoff_in[target as usize] += 1;
+    }
+    grid.cell(target as usize).attach(id);
+    let roam = grid.roam(i);
+    roam.serving = target;
+    roam.queued_for = None;
+    roam.shadow_db = ctx.system.path_loss.draw_site_shadow_db(&mut roam.rng);
+    let d = roam
+        .motion
+        .position()
+        .distance_m(ctx.centers[target as usize]);
+    let snr_db = ctx.system.path_loss.mean_snr_db(d) + roam.shadow_db;
+    grid.terminal(i).set_mean_snr_db(snr_db);
+}
+
+/// Phase 1: admits queued terminals into every cell that has room, oldest
+/// first, in cell-id order.
+///
+/// # Safety
+///
+/// Serial phases only.
+unsafe fn drain_admission_queues(
+    grid: &ShardGrid,
+    serial: &mut SerialState<'_>,
+    ctx: &FrameCtx<'_>,
+    measuring_drops: bool,
+) {
+    for c in 0..grid.n_cells as u32 {
+        while has_room(grid, ctx, c) {
+            let Some(id) = serial.queues[c as usize].pop_front() else {
+                break;
+            };
+            let i = id.index() as usize;
+            if grid.roam(i).queued_for != Some(c) {
+                continue; // stale entry: the terminal roamed elsewhere
+            }
+            // The admission resolves the attempt recorded at enqueue time;
+            // count it exactly when that attempt was counted.
+            let counted = grid.roam(i).attempt_measured;
+            migrate(grid, serial, ctx, i, c, counted, measuring_drops);
+        }
+    }
+}
+
+/// Phase 2 for one cell: traffic boundaries (counters attributed to this
+/// cell), mobility, path-loss SNR re-pointing, and handoff decisions
+/// recorded into this cell's mailbox.  Touches only this cell's state and
+/// its members' per-terminal state, so distinct cells may run concurrently.
+///
+/// # Safety
+///
+/// The caller must own cell `c` for the duration of the parallel phase (no
+/// other thread may access cell `c` or its members), and no serial phase
+/// may run concurrently.
+unsafe fn roam_phase(
+    grid: &ShardGrid,
+    ctx: &FrameCtx<'_>,
+    c: usize,
+    frame: u64,
+    measuring: bool,
+    measuring_drops: bool,
+) {
+    let cell = grid.cell(c);
+    let mailbox = grid.mailbox(c);
+    mailbox.events.clear();
+    // Membership is frozen during this phase (migrations happen in the
+    // serial merge), so indexed iteration is stable.
+    for k in 0..cell.member_count() {
+        let id = cell.members()[k];
+        let i = id.index() as usize;
+
+        // Traffic and channel boundary, attributed to the serving cell.
+        let tr = grid.terminal(i).begin_frame(frame);
+        *grid.traffic_mut(i) = tr;
+        if measuring {
+            let metrics = cell.metrics_mut();
+            if tr.voice_packet_generated {
+                metrics.voice.generated += 1;
+            }
+            if measuring_drops {
+                metrics.voice.dropped_deadline += tr.voice_packets_dropped as u64;
+            }
+            metrics.data.arrived += tr.data_packets_arrived as u64;
+        }
+
+        // Mobility and path loss.
+        let roam = grid.roam(i);
+        debug_assert_eq!(roam.serving, c as u32);
+        roam.motion.advance(ctx.dt_secs, ctx.bounds, &mut roam.rng);
+        let pos = roam.motion.position();
+        let d_serving = pos.distance_m(ctx.centers[c]);
+        let snr_db = ctx.system.path_loss.mean_snr_db(d_serving) + roam.shadow_db;
+        grid.terminal(i).set_mean_snr_db(snr_db);
+
+        // Nearest base station (Voronoi cell of the current position).
+        let (nearest, d_nearest) = ctx
+            .centers
+            .iter()
+            .enumerate()
+            .map(|(cc, &center)| (cc as u32, pos.distance_m(center)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("a system has at least one cell");
+
+        // Leaving a queue: the terminal roamed back into its serving cell's
+        // Voronoi region (or towards a third cell) before being admitted.
+        // The local flag flips now; the shared queue entry is removed by
+        // the merge.
+        if let Some(waiting) = roam.queued_for {
+            if nearest == c as u32 || nearest != waiting {
+                roam.queued_for = None;
+                mailbox.events.push(RoamEvent::LeaveQueue { id, waiting });
+            }
+        }
+
+        if nearest == c as u32
+            || d_serving - d_nearest <= ctx.system.handoff.hysteresis_m
+            || frame < roam.retry_at
+            || roam.queued_for == Some(nearest)
+        {
+            continue;
+        }
+        mailbox.events.push(RoamEvent::Attempt {
+            id,
+            target: nearest,
+            measured: measuring,
+        });
+    }
+}
+
+/// Phase 3: applies every mailbox in cell-id order (events in member order
+/// within a cell), then folds the per-frame streaming statistics.  The
+/// apply order is a pure function of the membership state at the start of
+/// the frame, so it does not depend on which worker produced which mailbox
+/// when — the heart of the byte-determinism argument.
+///
+/// # Safety
+///
+/// Serial phases only.
+unsafe fn merge_mailboxes(
+    grid: &ShardGrid,
+    serial: &mut SerialState<'_>,
+    ctx: &FrameCtx<'_>,
+    frame: u64,
+    measuring: bool,
+    measuring_drops: bool,
+) {
+    for c in 0..grid.n_cells {
+        // Detach the event buffer so applying events can re-enter the grid.
+        let mut events = std::mem::take(&mut grid.mailbox(c).events);
+        for event in &events {
+            match *event {
+                RoamEvent::LeaveQueue { id, waiting } => {
+                    serial.queues[waiting as usize].retain(|&t| t != id);
+                }
+                RoamEvent::Attempt {
+                    id,
+                    target,
+                    measured,
+                } => {
+                    let i = id.index() as usize;
+                    if measured {
+                        serial.handoff.attempts += 1;
+                    }
+                    if has_room(grid, ctx, target) {
+                        migrate(grid, serial, ctx, i, target, measured, measuring_drops);
+                        continue;
+                    }
+                    match ctx.system.handoff.admission {
+                        HandoffAdmission::Queue => {
+                            serial.queues[target as usize].push_back(id);
+                            let roam = grid.roam(i);
+                            roam.queued_for = Some(target);
+                            roam.attempt_measured = measured;
+                            if measured {
+                                serial.handoff.queued += 1;
+                            }
+                        }
+                        HandoffAdmission::DropOnFull => {
+                            // The interrupted call of classical telephony:
+                            // the target is full, the packets in flight are
+                            // lost, and the terminal limps along on its old
+                            // (distant) link until a retry.
+                            let dropped = grid.terminal(i).drop_buffered_voice() as u64;
+                            let serving = grid.roam(i).serving;
+                            if measuring_drops {
+                                grid.cell(serving as usize)
+                                    .metrics_mut()
+                                    .voice
+                                    .dropped_handoff += dropped;
+                            }
+                            if measured {
+                                serial.handoff.failures += 1;
+                            }
+                            grid.roam(i).retry_at = frame + ctx.system.handoff.retry_frames;
+                        }
+                    }
+                }
+            }
+        }
+        // Return the buffer (cleared) so its capacity is reused next frame.
+        events.clear();
+        grid.mailbox(c).events = events;
+    }
+
+    // Fold the streaming per-cell statistics at the post-merge membership —
+    // O(cells) per frame, never an O(terminals) end-of-run scan.
+    if measuring {
+        for c in 0..grid.n_cells {
+            serial.occupancy[c].push(grid.cell(c).member_count() as f64);
+            serial.queue_len[c].push(serial.queues[c].len() as f64);
+        }
+    }
+}
+
+/// Phase 4 for one cell: one MAC uplink frame over the cell's membership.
+///
+/// # Safety
+///
+/// As [`roam_phase`]: the caller must own cell `c`, and the MAC may touch
+/// the global `terminals` / `traffic` tables only at its member indices
+/// (which [`FrameWorld`](crate::world::FrameWorld) accessors guarantee —
+/// protocols only ever reach terminals through member ids).
+unsafe fn mac_phase(grid: &ShardGrid, ctx: &FrameCtx<'_>, c: usize, frame: u64, measuring: bool) {
+    let cell = grid.cell(c);
+    let mac = grid.mac(c);
+    let table = TerminalTable::from_raw(grid.terminals, grid.n_terminals);
+    cell.step(
+        frame,
+        ctx.config,
+        measuring,
+        grid.traffic_slice(),
+        table,
+        mac.as_mut(),
+    );
+}
+
+/// The sharded frame loop: `threads` workers own cell subsets (dealt
+/// round-robin by id) and execute the parallel phases; the coordinating
+/// thread executes the serial phases in the windows between barriers.
+///
+/// Four barrier waits bound each frame:
+///
+/// ```text
+/// coordinator:  drain ──┐            ┌── merge ──┐           ┌── (next frame)
+///                       ▼            │           ▼           │
+/// barrier:           [w1]───[w2]─────┘        [w3]───[w4]────┘
+///                       ▲            ▲           ▲           ▲
+/// workers:              └── roam ────┘           └── MACs ───┘
+/// ```
+///
+/// Every thread derives the frame flags from its own loop counter, so the
+/// only shared mutable state is the grid itself under the documented phase
+/// discipline.
+fn run_sharded(
+    grid: &ShardGrid,
+    serial: &mut SerialState<'_>,
+    ctx: &FrameCtx<'_>,
+    threads: usize,
+    total: u64,
+    warmup: u64,
+    drop_grace: u64,
+) {
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for frame in 0..total {
+                    let measuring = frame >= warmup;
+                    let measuring_drops = frame >= warmup + drop_grace;
+                    barrier.wait(); // queue drain done
+                    for c in (w..grid.n_cells).step_by(threads) {
+                        // SAFETY: worker `w` exclusively owns every cell
+                        // `c ≡ w (mod threads)`; memberships are disjoint.
+                        unsafe { roam_phase(grid, ctx, c, frame, measuring, measuring_drops) };
+                    }
+                    barrier.wait(); // roam done everywhere
+                    barrier.wait(); // merge done
+                    for c in (w..grid.n_cells).step_by(threads) {
+                        // SAFETY: as above; the merge finished re-shuffling
+                        // memberships before the barrier released us.
+                        unsafe { mac_phase(grid, ctx, c, frame, measuring) };
+                    }
+                    barrier.wait(); // frame complete
+                }
+            });
+        }
+        for frame in 0..total {
+            let measuring = frame >= warmup;
+            let measuring_drops = frame >= warmup + drop_grace;
+            // SAFETY: every worker is parked on a barrier while the serial
+            // phases run, so they have exclusive access to the grid.
+            unsafe { drain_admission_queues(grid, serial, ctx, measuring_drops) };
+            barrier.wait(); // release the workers into the roam phase
+            barrier.wait(); // wait for every mailbox
+            unsafe { merge_mailboxes(grid, serial, ctx, frame, measuring, measuring_drops) };
+            barrier.wait(); // release the workers into the MAC phase
+            barrier.wait(); // frame complete
+        }
+    });
 }
 
 /// The default path-loss profile reproduces the single-cell mean SNR when
@@ -558,6 +993,33 @@ mod tests {
     }
 
     #[test]
+    fn hex_city_ring_counts_fill_complete_rings() {
+        assert_eq!(hex_cells_for_rings(0), 1);
+        assert_eq!(hex_cells_for_rings(1), 7);
+        assert_eq!(hex_cells_for_rings(2), 19);
+        assert_eq!(hex_cells_for_rings(6), 127);
+        // A city grid of complete rings has every center within `rings`
+        // hex steps of the origin: the outermost ring sits at exactly
+        // `rings · spacing` along the axial directions.
+        let layout = Layout::Hex {
+            cell_radius_m: 100.0,
+        };
+        let cells = hex_cells_for_rings(6);
+        let centers = cell_centers(&layout, cells);
+        assert_eq!(centers.len(), 127);
+        let spacing = 3f64.sqrt() * 100.0;
+        let max_d = centers
+            .iter()
+            .map(|c| c.distance_m(Position::ORIGIN))
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_d <= 6.0 * spacing + 1e-9,
+            "outermost center at {max_d}, expected ≤ {}",
+            6.0 * spacing
+        );
+    }
+
+    #[test]
     fn line_centers_march_along_x() {
         let layout = Layout::Line {
             cell_radius_m: 200.0,
@@ -572,6 +1034,16 @@ mod tests {
         let b = layout_bounds(&centers, 200.0);
         assert!(b.contains(Position::new(-150.0, 150.0)));
         assert!(!b.contains(Position::new(-250.0, 0.0)));
+    }
+
+    #[test]
+    fn empty_center_list_yields_finite_bounds() {
+        // The degenerate input used to produce an inverted infinite box;
+        // now it falls back to a single-cell box around the origin.
+        let b = layout_bounds(&[], 150.0);
+        assert!(b.contains(Position::ORIGIN));
+        assert!(b.contains(Position::new(149.0, -149.0)));
+        assert!(!b.contains(Position::new(151.0, 0.0)));
     }
 
     #[test]
@@ -601,6 +1073,60 @@ mod tests {
         let a = Scenario::new(cfg.clone()).run(ProtocolKind::DTdmaVr);
         let b = Scenario::new(cfg).run(ProtocolKind::DTdmaVr);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_run_matches_round_robin_exactly() {
+        // The tentpole property at the unit level: the full RunReport —
+        // every counter, every per-cell Welford statistic — is identical
+        // between the round-robin path and the sharded path at several
+        // thread counts, including a count that does not divide the cells.
+        let mut cfg = small_config();
+        cfg.system = Some(roaming_system(7));
+        let reference = Scenario::new(cfg.clone()).run(ProtocolKind::Charisma);
+        for threads in [1u32, 2, 3, 4] {
+            let mut sharded_cfg = cfg.clone();
+            let mut system = sharded_cfg.system.unwrap();
+            system.threads = threads;
+            sharded_cfg.system = Some(system);
+            let sharded = Scenario::new(sharded_cfg).run(ProtocolKind::Charisma);
+            assert_eq!(
+                sharded, reference,
+                "threads={threads}: sharded report diverged from round-robin"
+            );
+            assert_eq!(
+                format!("{sharded:?}"),
+                format!("{reference:?}"),
+                "threads={threads}: serialised reports differ"
+            );
+        }
+        // The runs genuinely exercised the handoff machinery.
+        assert!(reference.metrics.handoff.successes > 0);
+    }
+
+    #[test]
+    fn streaming_occupancy_stats_cover_every_measured_frame() {
+        let mut cfg = small_config();
+        cfg.system = Some(roaming_system(4));
+        let report = Scenario::new(cfg.clone()).run(ProtocolKind::DTdmaFr);
+        assert_eq!(report.metrics.per_cell.len(), 4);
+        let mut population = 0.0;
+        for cell in &report.metrics.per_cell {
+            assert_eq!(
+                cell.occupancy.count(),
+                cfg.measured_frames,
+                "one occupancy sample per measured frame"
+            );
+            assert_eq!(cell.admission_queue.count(), cfg.measured_frames);
+            population += cell.occupancy.mean();
+        }
+        // Terminals are conserved, so the mean occupancies sum to the
+        // population regardless of how they migrated.
+        let total = (4 * (cfg.num_voice + cfg.num_data)) as f64;
+        assert!(
+            (population - total).abs() < 1e-6,
+            "mean occupancies sum to {population}, expected {total}"
+        );
     }
 
     #[test]

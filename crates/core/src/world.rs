@@ -24,6 +24,95 @@ use charisma_metrics::RunMetrics;
 use charisma_phy::{AdaptivePhy, FixedPhy, Phy};
 use charisma_radio::{CsiEstimate, CsiEstimator};
 use charisma_traffic::{buffer::ServedRun, TerminalClass, TerminalId};
+use std::marker::PhantomData;
+
+/// A view over the global terminal population that hands out per-terminal
+/// references without holding a `&mut` over the whole slice.
+///
+/// In a single-cell run this is just a borrowed `&mut [Terminal]`.  In a
+/// sharded multi-cell run every cell's [`FrameWorld`] gets a table over the
+/// *same* underlying slice from a different worker thread; that would be
+/// instant undefined behaviour with `&mut [Terminal]` aliases, so the table
+/// stores a raw pointer and materialises one-element references on demand.
+/// Soundness rests on the system layer's membership partition: each terminal
+/// is attached to exactly one cell, and a cell's MAC only ever touches its
+/// own members, so concurrent tables access disjoint elements.
+pub struct TerminalTable<'a> {
+    ptr: *mut Terminal,
+    len: usize,
+    _marker: PhantomData<&'a mut [Terminal]>,
+}
+
+impl<'a> From<&'a mut [Terminal]> for TerminalTable<'a> {
+    fn from(terminals: &'a mut [Terminal]) -> Self {
+        TerminalTable {
+            ptr: terminals.as_mut_ptr(),
+            len: terminals.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a> From<&'a mut Vec<Terminal>> for TerminalTable<'a> {
+    fn from(terminals: &'a mut Vec<Terminal>) -> Self {
+        terminals.as_mut_slice().into()
+    }
+}
+
+impl<'a> TerminalTable<'a> {
+    /// Builds a table from a raw pointer and length.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to `len` initialised `Terminal`s that outlive `'a`,
+    /// and for the lifetime of the table no element it accesses may be
+    /// accessed through any other path.  Concurrent tables over the same
+    /// allocation are allowed only if they access disjoint elements (the
+    /// system layer's cell-membership partition).
+    pub unsafe fn from_raw(ptr: *mut Terminal, len: usize) -> Self {
+        TerminalTable {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of terminals in the table (the whole scenario population).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Re-borrows the table at a shorter lifetime, exactly like re-borrowing
+    /// a `&mut`.  [`crate::cell::Cell::step`] uses this so the
+    /// [`FrameWorld`] it assembles borrows for the duration of the frame
+    /// only, not for the caller's full table lifetime.
+    pub fn reborrow(&mut self) -> TerminalTable<'_> {
+        TerminalTable {
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+
+    fn get(&self, index: usize) -> &Terminal {
+        assert!(index < self.len, "terminal index {index} out of bounds");
+        // SAFETY: bounds-checked above; exclusivity per the table contract.
+        unsafe { &*self.ptr.add(index) }
+    }
+
+    fn get_mut(&mut self, index: usize) -> &mut Terminal {
+        assert!(index < self.len, "terminal index {index} out of bounds");
+        // SAFETY: bounds-checked above; `&mut self` prevents a second
+        // reference through *this* table, exclusivity across tables per the
+        // table contract.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
 
 /// Reusable scratch buffers for the per-frame hot paths.
 ///
@@ -107,7 +196,7 @@ pub struct FrameWorld<'a> {
     /// run it is the serving cell's current membership, and `terminals` /
     /// `traffic` still span the whole system (ids are global).
     members: &'a [TerminalId],
-    terminals: &'a mut [Terminal],
+    terminals: TerminalTable<'a>,
     metrics: &'a mut RunMetrics,
     estimator: &'a mut CsiEstimator,
     adaptive_phy: AdaptivePhy,
@@ -126,13 +215,14 @@ impl<'a> FrameWorld<'a> {
         measuring: bool,
         traffic: &'a [FrameTraffic],
         members: &'a [TerminalId],
-        terminals: &'a mut [Terminal],
+        terminals: impl Into<TerminalTable<'a>>,
         metrics: &'a mut RunMetrics,
         estimator: &'a mut CsiEstimator,
         bs_rng: &'a mut Xoshiro256StarStar,
         scratch: &'a mut FrameScratch,
     ) -> Self {
         let clock = config.clock();
+        let terminals = terminals.into();
         debug_assert_eq!(traffic.len(), terminals.len());
         debug_assert!(members.len() <= terminals.len());
         FrameWorld {
@@ -160,12 +250,12 @@ impl<'a> FrameWorld<'a> {
 
     /// Immutable access to a terminal.
     pub fn terminal(&self, id: TerminalId) -> &Terminal {
-        &self.terminals[id.index() as usize]
+        self.terminals.get(id.index() as usize)
     }
 
     /// Mutable access to a terminal.
     pub fn terminal_mut(&mut self, id: TerminalId) -> &mut Terminal {
-        &mut self.terminals[id.index() as usize]
+        self.terminals.get_mut(id.index() as usize)
     }
 
     /// Iterates over the ids of the terminals attached to this base station,
@@ -298,7 +388,7 @@ impl<'a> FrameWorld<'a> {
     /// the current frame start (used for new requests and CSI polling).
     pub fn estimate_csi(&mut self, id: TerminalId) -> CsiEstimate {
         let now = self.now;
-        let true_snr = self.terminals[id.index() as usize].true_snr_db(now);
+        let true_snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
         self.estimator.estimate(true_snr, now)
     }
 
@@ -314,7 +404,7 @@ impl<'a> FrameWorld<'a> {
             LinkAdaptation::Fixed => self.fixed_phy.packets_per_slot(0.0),
             LinkAdaptation::Tracking => {
                 let now = self.now;
-                let snr = self.terminals[id.index() as usize].true_snr_db(now);
+                let snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
                 self.adaptive_phy.packets_per_slot(snr)
             }
             LinkAdaptation::Announced { snr_db } => self.adaptive_phy.packets_per_slot(snr_db),
@@ -325,7 +415,7 @@ impl<'a> FrameWorld<'a> {
     /// now under the given link adaptation.
     fn error_probability(&mut self, id: TerminalId, link: LinkAdaptation) -> f64 {
         let now = self.now;
-        let true_snr = self.terminals[id.index() as usize].true_snr_db(now);
+        let true_snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
         match link {
             LinkAdaptation::Fixed => self.fixed_phy.packet_error_probability(true_snr),
             LinkAdaptation::Tracking => self.adaptive_phy.packet_error_probability(true_snr),
@@ -351,7 +441,7 @@ impl<'a> FrameWorld<'a> {
         }
         let per = self.error_probability(id, link);
         let measuring = self.measuring;
-        let terminal = &mut self.terminals[id.index() as usize];
+        let terminal = self.terminals.get_mut(id.index() as usize);
         let Some(_packet) = terminal.voice_buffer_mut().pop() else {
             return VoiceTx::NoPacket;
         };
@@ -385,7 +475,7 @@ impl<'a> FrameWorld<'a> {
     /// when the terminal had no packet to lose.
     pub fn fail_voice(&mut self, id: TerminalId, slots: f64) -> bool {
         let measuring = self.measuring;
-        let terminal = &mut self.terminals[id.index() as usize];
+        let terminal = self.terminals.get_mut(id.index() as usize);
         if terminal.voice_buffer_mut().pop().is_none() {
             return false;
         }
@@ -429,7 +519,7 @@ impl<'a> FrameWorld<'a> {
         let mut requeue = std::mem::take(&mut self.scratch.data_requeue);
         requeue.clear();
 
-        let terminal = &mut self.terminals[id.index() as usize];
+        let terminal = self.terminals.get_mut(id.index() as usize);
         terminal.data_buffer_mut().pop_into(budget, &mut runs);
         if runs.is_empty() {
             self.scratch.data_runs = runs;

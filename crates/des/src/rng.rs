@@ -194,6 +194,21 @@ impl StreamId {
     pub const fn new(domain: u32, entity: u32) -> Self {
         StreamId { domain, entity }
     }
+
+    /// The entity index of per-cell (base-station) streams: cell `k` maps to
+    /// `u32::MAX − k`.
+    ///
+    /// Terminal entities count **up** from 0 and cell entities count **down**
+    /// from the top of the entity space, so the two families never collide
+    /// for any realistic population, and every cell owns an independent
+    /// sub-stream family `(domain, cell_entity(k))` per domain — the
+    /// derivation that lets cells step in parallel without sharing a
+    /// generator.  Cell 0 maps to `u32::MAX`, which is the entity the
+    /// historical single-cell code used for its base-station streams, so the
+    /// implicit cell reproduces those streams bit for bit.
+    pub const fn cell_entity(cell: u32) -> u32 {
+        u32::MAX - cell
+    }
 }
 
 /// Factory deriving independent [`Xoshiro256StarStar`] streams from a master
@@ -335,6 +350,29 @@ mod tests {
         let mut s1 = f.stream(id_a);
         let mut s2 = f.stream(id_a);
         assert_eq!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn cell_entities_count_down_from_the_top_of_the_entity_space() {
+        // Cell 0 is the historical single-cell entity; higher cells walk
+        // down without ever meeting the terminal entities counting up.
+        assert_eq!(StreamId::cell_entity(0), u32::MAX);
+        assert_eq!(StreamId::cell_entity(1), u32::MAX - 1);
+        assert_eq!(StreamId::cell_entity(1000), u32::MAX - 1000);
+        let f = RngStreams::new(42);
+        let seeds: Vec<u64> = (0..32)
+            .map(|c| {
+                f.derive_seed(StreamId::new(
+                    StreamId::DOMAIN_PROTOCOL,
+                    StreamId::cell_entity(c),
+                ))
+            })
+            .collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[..i] {
+                assert_ne!(a, b, "cell sub-streams must be distinct");
+            }
+        }
     }
 
     #[test]

@@ -10,21 +10,19 @@
 /// Finds the largest load at which `metric ≤ threshold`, interpolating
 /// linearly between the last compliant point and the first violating point.
 ///
-/// `points` must be sorted by increasing load.  Returns:
+/// Returns:
 ///
+/// * `None` for degenerate input — an empty curve, or points not sorted by
+///   increasing load (a campaign with a failed point can produce either;
+///   a capacity simply cannot be read off such a curve),
 /// * `None` if the very first point already violates the threshold (the
 ///   protocol cannot even support the smallest load measured), and
 /// * the largest measured load if the threshold is never exceeded (the curve
 ///   never crosses within the measured range).
 pub fn capacity_at_threshold(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
-    assert!(
-        !points.is_empty(),
-        "capacity search needs at least one sweep point"
-    );
-    assert!(
-        points.windows(2).all(|w| w[0].0 <= w[1].0),
-        "sweep points must be sorted by increasing load"
-    );
+    if points.is_empty() || points.windows(2).any(|w| w[0].0 > w[1].0) {
+        return None;
+    }
 
     if points[0].1 > threshold {
         return None;
@@ -46,12 +44,9 @@ pub fn capacity_at_threshold(points: &[(f64, f64)], threshold: f64) -> Option<f6
 
 /// Finds the load at which a metric first crosses *below* a threshold for
 /// curves that are "good when high" (e.g. per-user throughput): the largest
-/// load with `metric ≥ threshold`.
+/// load with `metric ≥ threshold`.  Degenerate input (empty or unsorted)
+/// yields `None`, as in [`capacity_at_threshold`].
 pub fn crossing_load(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
-    assert!(
-        !points.is_empty(),
-        "capacity search needs at least one sweep point"
-    );
     let inverted: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x, -y)).collect();
     capacity_at_threshold(&inverted, -threshold)
 }
@@ -91,16 +86,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted by increasing load")]
-    fn unsorted_points_rejected() {
+    fn unsorted_points_yield_none() {
+        // A curve assembled from a campaign with a failed point can arrive
+        // out of order; there is no capacity to read off it.
         let pts = [(20.0, 0.001), (10.0, 0.002)];
-        let _ = capacity_at_threshold(&pts, 0.01);
+        assert_eq!(capacity_at_threshold(&pts, 0.01), None);
+        assert_eq!(crossing_load(&pts, 0.01), None);
     }
 
     #[test]
-    #[should_panic(expected = "at least one sweep point")]
-    fn empty_points_rejected() {
-        let _ = capacity_at_threshold(&[], 0.01);
+    fn empty_points_yield_none() {
+        assert_eq!(capacity_at_threshold(&[], 0.01), None);
+        assert_eq!(crossing_load(&[], 0.01), None);
     }
 
     #[test]

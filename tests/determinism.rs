@@ -208,6 +208,157 @@ fn multicell_campaign_csv_bytes_are_identical_across_runs_and_threads() {
     );
 }
 
+/// Sets the intra-point worker-thread count on every spec of a campaign.
+fn with_system_threads(mut campaign: charisma::Campaign, threads: u32) -> charisma::Campaign {
+    for spec in &mut campaign.specs {
+        spec.system_threads = threads;
+    }
+    campaign
+}
+
+/// The registry's `handoff_stress` campaign, miniaturised: the 3-cell
+/// corridor under admission pressure (both the drop-on-full and the queue
+/// scenarios), with a short budget for the thread matrix below.
+fn mini_handoff_stress() -> charisma::Campaign {
+    let mut campaign = registry::build_campaign("handoff_stress", BenchProfile::Quick)
+        .expect("handoff_stress is a sweep campaign");
+    for spec in &mut campaign.specs {
+        spec.protocols = vec![ProtocolKind::Charisma];
+        spec.voice_users = vec![10];
+        spec.data_users = vec![2];
+        spec.handoff.cell_capacity = 13;
+    }
+    campaign
+}
+
+/// The registry's `city_scale` campaign, miniaturised: the full 127-cell
+/// hexagonal city stepped by the sharded frame loop, with tiny per-cell
+/// populations and a short budget so the debug-build thread matrix stays
+/// inside unit-test time.
+fn mini_city() -> charisma::Campaign {
+    let mut campaign = registry::build_campaign("city_scale", BenchProfile::Quick)
+        .expect("city_scale is a sweep campaign");
+    for spec in &mut campaign.specs {
+        spec.protocols = vec![ProtocolKind::Charisma];
+        spec.voice_users = vec![2];
+        spec.data_users = vec![1];
+    }
+    campaign
+}
+
+#[test]
+fn sharded_multicell_campaign_is_byte_identical_at_any_thread_count() {
+    // The tentpole acceptance property: the campaign CSV bytes of a
+    // multi-cell entry are a pure function of the campaign, regardless of
+    // how many worker threads step the cells inside each sweep point.
+    // Thread count 0 is the single-threaded round-robin path; 2 and 4
+    // exercise the sharded path with cells dealt across workers (4 does not
+    // divide 7, so the deal is uneven too).
+    let reference = with_system_threads(mini_multicell(), 0)
+        .run(mini_budget(), 1)
+        .unwrap()
+        .to_csv();
+    for threads in [1u32, 2, 4] {
+        let sharded = with_system_threads(mini_multicell(), threads)
+            .run(mini_budget(), 1)
+            .unwrap()
+            .to_csv();
+        assert_eq!(
+            reference, sharded,
+            "multicell_baseline CSV diverged at system_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn sharded_handoff_stress_campaign_is_byte_identical_at_any_thread_count() {
+    // Same property under admission pressure: refused and queued handoffs
+    // travel through the per-frame mailboxes, so the serial merge order —
+    // not the worker schedule — decides who gets the last admission slot.
+    let reference = with_system_threads(mini_handoff_stress(), 0)
+        .run(mini_budget(), 1)
+        .unwrap()
+        .to_csv();
+    for threads in [2u32, 4] {
+        let sharded = with_system_threads(mini_handoff_stress(), threads)
+            .run(mini_budget(), 1)
+            .unwrap()
+            .to_csv();
+        assert_eq!(
+            reference, sharded,
+            "handoff_stress CSV diverged at system_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn sharded_city_scale_campaign_is_byte_identical_at_any_thread_count() {
+    // The 127-cell city entry ships with system_threads = 4 in the
+    // registry; its CSV must match the round-robin bytes exactly.
+    let budget = FrameBudget {
+        warmup: 60,
+        measured: 240,
+    };
+    let reference = with_system_threads(mini_city(), 0)
+        .run(budget, 1)
+        .unwrap()
+        .to_csv();
+    for threads in [2u32, 4] {
+        let sharded = with_system_threads(mini_city(), threads)
+            .run(budget, 1)
+            .unwrap()
+            .to_csv();
+        assert_eq!(
+            reference, sharded,
+            "city_scale CSV diverged at system_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn sharded_frames_never_lose_or_duplicate_terminals() {
+    // The mailbox-merge conservation property, checked through the public
+    // system API with the sharded path active: after a run full of
+    // migrations on 4 worker threads, every terminal is attached exactly
+    // once and the per-cell occupancy statistics account for the whole
+    // population in every measured frame.
+    let mut cfg = SimConfig::quick_test();
+    cfg.num_voice = 6;
+    cfg.num_data = 2;
+    cfg.warmup_frames = 200;
+    cfg.measured_frames = 1_600;
+    let mut system = charisma::SystemConfig::new(7);
+    system.layout = charisma::Layout::Hex {
+        cell_radius_m: 100.0,
+    };
+    system.handoff.hysteresis_m = 5.0;
+    system.threads = 4;
+    cfg.system = Some(system);
+    let mut world = charisma::SystemWorld::new(cfg.clone(), ProtocolKind::Charisma);
+    let report = world.run();
+    let total = 7 * (cfg.num_voice + cfg.num_data) as usize;
+    let ids = world.attached_ids_sorted();
+    assert_eq!(ids.len(), total, "population size changed");
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(id.index() as usize, i, "terminal set changed");
+    }
+    assert!(
+        report.metrics.handoff.successes > 0,
+        "expected migrations: {:?}",
+        report.metrics.handoff
+    );
+    let mean_population: f64 = report
+        .metrics
+        .per_cell
+        .iter()
+        .map(|c| c.occupancy.mean())
+        .sum();
+    assert!(
+        (mean_population - total as f64).abs() < 1e-6,
+        "occupancy means sum to {mean_population}, expected {total}"
+    );
+}
+
 #[test]
 fn replicated_campaign_csv_bytes_are_identical_across_runs_and_threads() {
     // The replication engine on the real fig11 campaign shape: every point
