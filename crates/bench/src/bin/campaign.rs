@@ -12,11 +12,16 @@
 //! `run` accepts `--profile quick|standard|full` (default: the strict
 //! `CHARISMA_BENCH_PROFILE` parse, `standard` when unset), `--threads N`
 //! (default 0: one sweep worker per core) and `--write-handbook` to refresh
-//! the handbook after the run.  See `EXPERIMENTS.md` for the per-scenario
-//! documentation this binary maintains.
+//! the handbook after the run.  Sweep runs checkpoint every completed point
+//! to `results/.checkpoint/<entry>.jsonl`; an interrupted campaign finishes
+//! from where it stopped with `campaign run <name> --resume`, byte-identical
+//! to an uninterrupted run.  Every `gate` run extends the append-only ledger
+//! `results/BENCH_history.jsonl`, and `campaign trend` reads it back to flag
+//! slow drift the per-run tolerance cannot see.  See `EXPERIMENTS.md` for
+//! the per-scenario documentation this binary maintains.
 
 use charisma_bench::registry::{self, EntryKind};
-use charisma_bench::{gate, BaselineWrite, BenchProfile};
+use charisma_bench::{checkpoint, gate, trend, BaselineWrite, BenchProfile};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -26,18 +31,33 @@ usage: campaign <command> [options]
 commands:
   list                        list every registered scenario
   describe <name>             show a scenario's details and exact spec JSON
-  run <name>... | all         run scenarios (writes results/ + results/MANIFEST.json)
+  run <name>... | all         run scenarios (writes results/ + results/MANIFEST.json;
+                              sweep progress is checkpointed per point under
+                              results/.checkpoint/ — exit 3 means interrupted,
+                              finish with `campaign run <name> --resume`)
   gate <name> | all           re-run a scenario and compare against its committed
                               baseline in results/ (exit 0 pass, 1 regression);
                               \"all\" gates every entry with a committed baseline
-                              and prints a one-line pass/fail summary table
+                              and prints a one-line pass/fail summary table;
+                              every gate run appends to results/BENCH_history.jsonl
+  trend                       analyse results/BENCH_history.jsonl for slow drift
+                              the per-run gate tolerance cannot see (exit 0 healthy
+                              or insufficient history, 1 drift detected)
   write-handbook              refresh the generated section of EXPERIMENTS.md
 
 run options:
   --profile quick|standard|full   run length per sweep point
                                   (default: CHARISMA_BENCH_PROFILE, else standard)
   --threads N                     sweep worker threads (default 0 = one per core)
+  --resume                        replay completed points from the entry's
+                                  checkpoint (refused — exit 2 — if the spec,
+                                  profile or git revision changed underneath it)
+  --results-dir PATH              write artifacts + checkpoints under PATH
+                                  instead of results/
   --write-handbook                also refresh EXPERIMENTS.md after the run
+  (CHARISMA_FAULT_POINT=N aborts the run — exit 3 — after N newly completed
+   points: the deterministic fault hook the durability tests and the CI resume
+   smoke test use)
 
 gate options:
   --profile / --threads           run length / workers of sweep-entry gates;
@@ -48,7 +68,10 @@ gate options:
                                   the 95% CI half-width is always credited on top,
                                   so seed/timing noise alone cannot fail the gate
   --baseline PATH                 compare against PATH instead of the default
-                                  committed baseline";
+                                  committed baseline
+
+trend options:
+  --history PATH                  ledger to analyse (default results/BENCH_history.jsonl)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +84,7 @@ fn main() -> ExitCode {
         "describe" => describe(&args[1..]),
         "run" => run(&args[1..]),
         "gate" => run_gate(&args[1..]),
+        "trend" => run_trend(&args[1..]),
         "write-handbook" => write_handbook(),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
@@ -164,9 +188,23 @@ fn run(args: &[String]) -> ExitCode {
     let mut profile: Option<BenchProfile> = None;
     let mut threads = 0usize;
     let mut refresh_handbook = false;
+    let mut resume = false;
+    let mut results_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--results-dir" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign run: --results-dir needs a path");
+                    return ExitCode::from(2);
+                };
+                results_dir = Some(PathBuf::from(value));
+                i += 2;
+            }
             "--profile" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("campaign run: --profile needs a value (quick|standard|full)");
@@ -235,14 +273,26 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    match registry::run_and_record_with(&names, profile, threads, baseline) {
+    let mut opts =
+        checkpoint::DurableOptions::new(results_dir.unwrap_or_else(charisma_bench::output_dir));
+    opts.resume = resume;
+    opts.fault_point = match checkpoint::fault_point_from_env() {
+        Ok(fault) => fault,
+        Err(e) => {
+            eprintln!("campaign run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match checkpoint::run_and_record_durable(&names, profile, threads, baseline, &opts) {
         Ok(reports) => {
             let points: usize = reports.iter().map(|r| r.points).sum();
             println!(
-                "campaign: {} scenario(s), {} sweep points, profile {} — manifest in results/MANIFEST.json",
+                "campaign: {} scenario(s), {} sweep points, profile {} — manifest in {}",
                 reports.len(),
                 points,
-                profile.label()
+                profile.label(),
+                opts.results_dir.join("MANIFEST.json").display()
             );
             if refresh_handbook {
                 return write_handbook();
@@ -251,7 +301,7 @@ fn run(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("campaign run: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -348,6 +398,12 @@ fn run_gate(args: &[String]) -> ExitCode {
                 println!("{check}");
             }
             println!();
+            trend::record_gate_outcomes(
+                &[(&report, report.passed())],
+                profile,
+                tolerance,
+                &trend::history_path(),
+            );
             if report.passed() {
                 println!(
                     "gate {name}: PASS ({} checks within tolerance {tolerance})",
@@ -372,6 +428,7 @@ fn run_gate(args: &[String]) -> ExitCode {
 
 fn gate_all(profile: BenchProfile, threads: usize, tolerance: f64) -> ExitCode {
     let outcomes = gate::run_gate_all(profile, threads, tolerance);
+    trend::record_gate_all_outcomes(&outcomes, profile, tolerance, &trend::history_path());
     println!();
     println!(
         "gate all — summary [{} profile, tolerance {tolerance}]",
@@ -429,6 +486,62 @@ fn gate_all(profile: BenchProfile, threads: usize, tolerance: f64) -> ExitCode {
     } else {
         println!("gate all: PASS ({gated} gated entries, rest skipped)");
         ExitCode::SUCCESS
+    }
+}
+
+fn run_trend(args: &[String]) -> ExitCode {
+    let mut history: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--history" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("campaign trend: --history needs a path");
+                    return ExitCode::from(2);
+                };
+                history = Some(PathBuf::from(value));
+                i += 2;
+            }
+            other => {
+                eprintln!("campaign trend: unknown option \"{other}\"\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let history = history.unwrap_or_else(trend::history_path);
+    let (records, warnings) = match trend::load_history(&history) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("campaign trend: could not read {}: {e}", history.display());
+            return ExitCode::from(2);
+        }
+    };
+    for warning in &warnings {
+        eprintln!("campaign trend: warning: {}: {warning}", history.display());
+    }
+    let analysis = trend::analyze_history(&records, trend::DEFAULT_CUMULATIVE_THRESHOLD);
+    let report = trend::render_report(
+        &analysis,
+        &history,
+        records.len(),
+        warnings.len(),
+        trend::DEFAULT_CUMULATIVE_THRESHOLD,
+    );
+    print!("{report}");
+    if let Err(e) = charisma_bench::write_output(trend::TREND_REPORT_FILE, &report) {
+        eprintln!(
+            "campaign trend: could not write {}: {e}",
+            trend::TREND_REPORT_FILE
+        );
+    }
+    if analysis.series.is_empty() {
+        // Insufficient history is a healthy state, not an error: the ledger
+        // simply has not accumulated the runs the detector needs yet.
+        ExitCode::SUCCESS
+    } else if analysis.drifting().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

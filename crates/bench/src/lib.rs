@@ -33,8 +33,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 pub mod artifacts;
+pub mod checkpoint;
 pub mod gate;
 pub mod registry;
+pub mod trend;
 
 /// Whether a run may refresh committed baseline files under `results/`.
 ///
@@ -200,7 +202,18 @@ pub fn output_dir() -> PathBuf {
 /// uploads must fail loudly rather than let a stale checked-in file
 /// masquerade as the run's output.
 pub fn write_output(name: &str, contents: &str) -> std::io::Result<PathBuf> {
-    let path = output_dir().join(name);
+    write_output_to(&output_dir(), name, contents)
+}
+
+/// [`write_output`] into an explicit results directory (created on demand).
+///
+/// The durable campaign runner ([`checkpoint`]) renders artifacts into the
+/// directory its [`checkpoint::DurableOptions`] names — `results/` for real
+/// runs, scratch directories for the fault-injection tests and the CI resume
+/// smoke test — so everything that writes files takes the directory as data.
+pub fn write_output_to(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
     fs::write(&path, contents)?;
     println!("wrote {}", path.display());
     Ok(path)

@@ -1395,7 +1395,17 @@ pub fn handbook_document() -> String {
          `campaign gate <name>` re-runs an entry and compares it against its\n\
          committed baseline under `results/` (the CI benchmark regression gate);\n\
          `campaign gate all` gates every entry with a committed baseline and prints\n\
-         a one-line pass/fail summary table.\n\
+         a one-line pass/fail summary table.  Every gate run appends its checks to\n\
+         the append-only ledger `results/BENCH_history.jsonl`, and `campaign trend`\n\
+         reads the ledger back to flag slow drift the per-run tolerance cannot see.\n\
+         \n\
+         Sweep runs are durable: each completed point is appended to the entry's\n\
+         checkpoint manifest `results/.checkpoint/<entry>.jsonl`, an interrupted\n\
+         run exits 3, and `campaign run <name> --resume` replays the completed\n\
+         points byte-for-byte (refusing, exit 2, if the spec, profile or git\n\
+         revision changed).  `CHARISMA_FAULT_POINT=N` aborts deterministically\n\
+         after N points — the hook the durability tests and the CI resume smoke\n\
+         test inject faults with.\n\
          \n\
          Every invocation of `campaign run` writes `results/MANIFEST.json` recording\n\
          the executed specs, profile, seeds, replication counts, output files and git\n\

@@ -1,0 +1,656 @@
+//! The benchmark history ledger and the slow-drift detector behind
+//! `campaign trend`.
+//!
+//! Every `campaign gate` run appends one strict-JSON line per gated entry to
+//! the append-only ledger `results/BENCH_history.jsonl`: timestamp, git
+//! revision, profile, gate verdict and — per check — the baseline, fresh and
+//! allowed values plus the tolerance margin.  The per-run gate is blind to
+//! slow drift by construction: a 10 % slowdown per run passes a 30 %
+//! tolerance forever.  `campaign trend` reads the ledger back and flags the
+//! drift the gate cannot see — at least [`MIN_CONSECUTIVE`] consecutive
+//! declining steps in a series' health value, or a cumulative drop from the
+//! series' peak beyond [`DEFAULT_CUMULATIVE_THRESHOLD`] — via
+//! `charisma::metrics::detect_drift`.
+//!
+//! Robustness: a ledger with fewer than [`MIN_RUNS`] records per series is
+//! "insufficient history" (exit 0, not an error), and empty or corrupt lines
+//! are skipped with a warning — an append torn by a dying CI runner must
+//! never brick the trend report.
+
+use crate::gate::{GateOutcome, GateReport};
+use crate::{output_dir, registry, BenchProfile};
+use charisma::metrics::{detect_drift, DriftKind, DriftReport};
+use charisma::Json;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of one history ledger line.
+pub const HISTORY_SCHEMA: &str = "charisma.bench_history.v1";
+
+/// File name of the ledger under the results directory.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// File name of the trend report `campaign trend` writes.
+pub const TREND_REPORT_FILE: &str = "TREND_report.txt";
+
+/// Minimum records a series needs before the trend detector will judge it.
+pub const MIN_RUNS: usize = 3;
+
+/// Declining steps in a row before a series is flagged as drifting.
+pub const MIN_CONSECUTIVE: usize = 3;
+
+/// Cumulative drop from a series' peak health before it is flagged, even
+/// without a monotone decline (three runs 10 % slower each land here long
+/// before any single gate run fails its 30 % tolerance).
+pub const DEFAULT_CUMULATIVE_THRESHOLD: f64 = 0.15;
+
+/// The default ledger path (`results/BENCH_history.jsonl`).
+pub fn history_path() -> PathBuf {
+    output_dir().join(HISTORY_FILE)
+}
+
+/// One gate check as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryCheck {
+    /// The metric name, stripped of per-run noise (worst-row annotations).
+    pub metric: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub fresh: f64,
+    /// The worst value (fps) / largest allowance (sweep) the gate accepted.
+    pub allowed: f64,
+    /// Tolerance headroom left, normalised so 0 means "at the limit":
+    /// `(fresh - allowed) / baseline` for throughput checks, and
+    /// `(allowance - |fresh - baseline|) / allowance` for sweep checks.
+    pub margin: f64,
+}
+
+impl HistoryCheck {
+    /// The health value trend analysis tracks for this check: larger is
+    /// healthier.  Throughput checks track the fps itself (absolute drift is
+    /// the signal); sweep checks track the tolerance margin.
+    pub fn health(&self) -> f64 {
+        if self.metric.contains("frames_per_second") {
+            self.fresh
+        } else {
+            self.margin
+        }
+    }
+}
+
+/// One `campaign gate` run of one entry, as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Seconds since the Unix epoch when the gate ran.
+    pub timestamp: u64,
+    /// Git revision of the gated tree.
+    pub git_revision: String,
+    /// The gated registry entry.
+    pub entry: String,
+    /// Profile the gate ran under.
+    pub profile: String,
+    /// Relative tolerance the gate applied.
+    pub tolerance: f64,
+    /// `"pass"` or `"fail"`.
+    pub verdict: String,
+    /// Every comparison the gate performed.
+    pub checks: Vec<HistoryCheck>,
+}
+
+impl HistoryRecord {
+    /// Builds the ledger record for one finished gate report.
+    pub fn from_gate_report(
+        report: &GateReport,
+        profile: BenchProfile,
+        tolerance: f64,
+        timestamp: u64,
+        git_revision: String,
+    ) -> Self {
+        let checks = report
+            .checks
+            .iter()
+            .map(|c| {
+                // Sweep checks carry a per-run "(worst row: ...)" suffix;
+                // strip it so (entry, metric) is a stable series key.
+                let metric = c
+                    .metric
+                    .split(" (worst row")
+                    .next()
+                    .unwrap_or(&c.metric)
+                    .to_string();
+                let margin = if metric.contains("frames_per_second") {
+                    if c.baseline.abs() > 0.0 {
+                        (c.fresh - c.allowed) / c.baseline
+                    } else {
+                        0.0
+                    }
+                } else if c.allowed > 0.0 {
+                    (c.allowed - (c.fresh - c.baseline).abs()) / c.allowed
+                } else {
+                    0.0
+                };
+                HistoryCheck {
+                    metric,
+                    baseline: c.baseline,
+                    fresh: c.fresh,
+                    allowed: c.allowed,
+                    margin,
+                }
+            })
+            .collect();
+        HistoryRecord {
+            timestamp,
+            git_revision,
+            entry: report.entry.clone(),
+            profile: profile.label().to_string(),
+            tolerance,
+            verdict: if report.passed() { "pass" } else { "fail" }.to_string(),
+            checks,
+        }
+    }
+
+    /// Serialises the record to its single-line ledger form.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".into(), Json::Str(HISTORY_SCHEMA.into())),
+            ("timestamp".into(), Json::Int(self.timestamp)),
+            ("git_revision".into(), Json::Str(self.git_revision.clone())),
+            ("entry".into(), Json::Str(self.entry.clone())),
+            ("profile".into(), Json::Str(self.profile.clone())),
+            ("tolerance".into(), Json::Num(self.tolerance)),
+            ("verdict".into(), Json::Str(self.verdict.clone())),
+            (
+                "checks".into(),
+                Json::Array(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Json::Object(vec![
+                                ("metric".into(), Json::Str(c.metric.clone())),
+                                ("baseline".into(), Json::Num(c.baseline)),
+                                ("fresh".into(), Json::Num(c.fresh)),
+                                ("allowed".into(), Json::Num(c.allowed)),
+                                ("margin".into(), Json::Num(c.margin)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Strictly decodes one ledger record; unknown keys are an error so a
+    /// corrupted or foreign line is skipped rather than half-read.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let pairs = json
+            .as_object()
+            .ok_or_else(|| format!("record must be an object, got {}", json.type_name()))?;
+        let mut timestamp = None;
+        let mut git_revision = None;
+        let mut entry = None;
+        let mut profile = None;
+        let mut tolerance = None;
+        let mut verdict = None;
+        let mut checks = None;
+        for (k, v) in pairs {
+            match k.as_str() {
+                "schema" => {
+                    let got = v.as_str().ok_or("\"schema\" must be a string")?;
+                    if got != HISTORY_SCHEMA {
+                        return Err(format!(
+                            "schema is \"{got}\", expected \"{HISTORY_SCHEMA}\""
+                        ));
+                    }
+                }
+                "timestamp" => {
+                    timestamp = Some(v.as_u64().ok_or("\"timestamp\" must be an integer")?)
+                }
+                "git_revision" => {
+                    git_revision = Some(v.as_str().ok_or("\"git_revision\" must be a string")?)
+                }
+                "entry" => entry = Some(v.as_str().ok_or("\"entry\" must be a string")?),
+                "profile" => profile = Some(v.as_str().ok_or("\"profile\" must be a string")?),
+                "tolerance" => {
+                    tolerance = Some(v.as_f64().ok_or("\"tolerance\" must be a number")?)
+                }
+                "verdict" => verdict = Some(v.as_str().ok_or("\"verdict\" must be a string")?),
+                "checks" => {
+                    let items = v.as_array().ok_or("\"checks\" must be an array")?;
+                    checks = Some(
+                        items
+                            .iter()
+                            .map(decode_check)
+                            .collect::<Result<Vec<_>, String>>()?,
+                    );
+                }
+                unknown => return Err(format!("unknown key \"{unknown}\" in history record")),
+            }
+        }
+        Ok(HistoryRecord {
+            timestamp: timestamp.ok_or("record is missing \"timestamp\"")?,
+            git_revision: git_revision
+                .ok_or("record is missing \"git_revision\"")?
+                .into(),
+            entry: entry.ok_or("record is missing \"entry\"")?.into(),
+            profile: profile.ok_or("record is missing \"profile\"")?.into(),
+            tolerance: tolerance.ok_or("record is missing \"tolerance\"")?,
+            verdict: verdict.ok_or("record is missing \"verdict\"")?.into(),
+            checks: checks.ok_or("record is missing \"checks\"")?,
+        })
+    }
+}
+
+fn decode_check(json: &Json) -> Result<HistoryCheck, String> {
+    let pairs = json
+        .as_object()
+        .ok_or_else(|| format!("check must be an object, got {}", json.type_name()))?;
+    let mut metric = None;
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut allowed = None;
+    let mut margin = None;
+    for (k, v) in pairs {
+        match k.as_str() {
+            "metric" => metric = Some(v.as_str().ok_or("check \"metric\" must be a string")?),
+            "baseline" => baseline = Some(v.as_f64().ok_or("check \"baseline\" must be a number")?),
+            "fresh" => fresh = Some(v.as_f64().ok_or("check \"fresh\" must be a number")?),
+            "allowed" => allowed = Some(v.as_f64().ok_or("check \"allowed\" must be a number")?),
+            "margin" => margin = Some(v.as_f64().ok_or("check \"margin\" must be a number")?),
+            unknown => return Err(format!("unknown key \"{unknown}\" in history check")),
+        }
+    }
+    Ok(HistoryCheck {
+        metric: metric.ok_or("check is missing \"metric\"")?.into(),
+        baseline: baseline.ok_or("check is missing \"baseline\"")?,
+        fresh: fresh.ok_or("check is missing \"fresh\"")?,
+        allowed: allowed.ok_or("check is missing \"allowed\"")?,
+        margin: margin.ok_or("check is missing \"margin\"")?,
+    })
+}
+
+/// Appends one record to the ledger at `path` (created on demand).
+pub fn append_history(path: &Path, record: &HistoryRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(format!("{}\n", record.to_json().to_compact_string()).as_bytes())?;
+    file.flush()
+}
+
+/// Appends ledger records for every gated entry of a `gate` / `gate all`
+/// invocation.  Failures to extend the ledger are reported, never fatal —
+/// the gate verdict must not depend on history bookkeeping.
+pub fn record_gate_outcomes(
+    outcomes: &[(&GateReport, bool)],
+    profile: BenchProfile,
+    tolerance: f64,
+    path: &Path,
+) {
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let revision = registry::git_revision();
+    for (report, _passed) in outcomes {
+        let record = HistoryRecord::from_gate_report(
+            report,
+            profile,
+            tolerance,
+            timestamp,
+            revision.clone(),
+        );
+        if let Err(e) = append_history(path, &record) {
+            eprintln!(
+                "warning: could not extend {} for entry {}: {e}",
+                path.display(),
+                report.entry
+            );
+        }
+    }
+    if !outcomes.is_empty() {
+        println!("extended {} (+{} records)", path.display(), outcomes.len());
+    }
+}
+
+/// Convenience over [`record_gate_outcomes`] for `gate all` outcome lists.
+pub fn record_gate_all_outcomes(
+    outcomes: &[(&'static str, GateOutcome)],
+    profile: BenchProfile,
+    tolerance: f64,
+    path: &Path,
+) {
+    let gated: Vec<(&GateReport, bool)> = outcomes
+        .iter()
+        .filter_map(|(_, o)| match o {
+            GateOutcome::Pass(r) => Some((r, true)),
+            GateOutcome::Fail(r) => Some((r, false)),
+            GateOutcome::Skipped(_) | GateOutcome::Error(_) => None,
+        })
+        .collect();
+    record_gate_outcomes(&gated, profile, tolerance, path);
+}
+
+/// Loads the ledger, skipping (with a warning string) empty and corrupt
+/// lines.  A missing file is simply an empty history.
+pub fn load_history(path: &Path) -> std::io::Result<(Vec<HistoryRecord>, Vec<String>)> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), Vec::new())),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            warnings.push(format!("line {n}: empty, skipped"));
+            continue;
+        }
+        match Json::parse(line) {
+            Err(e) => warnings.push(format!("line {n}: not valid JSON ({e}), skipped")),
+            Ok(json) => match HistoryRecord::from_json(&json) {
+                Err(e) => warnings.push(format!("line {n}: {e}, skipped")),
+                Ok(record) => records.push(record),
+            },
+        }
+    }
+    Ok((records, warnings))
+}
+
+/// One (entry, metric) series judged by the drift detector.
+#[derive(Debug)]
+pub struct TrendSeries {
+    /// The gated entry.
+    pub entry: String,
+    /// The check metric.
+    pub metric: String,
+    /// The health values, in ledger (chronological) order.
+    pub values: Vec<f64>,
+    /// The detector's verdict.
+    pub report: DriftReport,
+}
+
+/// The full trend analysis over a loaded ledger.
+#[derive(Debug)]
+pub struct TrendAnalysis {
+    /// Series with at least [`MIN_RUNS`] records, judged.
+    pub series: Vec<TrendSeries>,
+    /// `(entry, metric, runs)` triples with too little history to judge.
+    pub insufficient: Vec<(String, String, usize)>,
+}
+
+impl TrendAnalysis {
+    /// The judged series that are drifting.
+    pub fn drifting(&self) -> Vec<&TrendSeries> {
+        self.series
+            .iter()
+            .filter(|s| s.report.is_drifting())
+            .collect()
+    }
+}
+
+/// Groups ledger records into per-(entry, metric) health series and runs the
+/// drift detector over each series with enough history.
+pub fn analyze_history(records: &[HistoryRecord], cumulative_threshold: f64) -> TrendAnalysis {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    let mut values: Vec<Vec<f64>> = Vec::new();
+    for record in records {
+        for check in &record.checks {
+            let key = (record.entry.clone(), check.metric.clone());
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => values[i].push(check.health()),
+                None => {
+                    keys.push(key);
+                    values.push(vec![check.health()]);
+                }
+            }
+        }
+    }
+    let mut series = Vec::new();
+    let mut insufficient = Vec::new();
+    for ((entry, metric), vals) in keys.into_iter().zip(values) {
+        if vals.len() < MIN_RUNS {
+            insufficient.push((entry, metric, vals.len()));
+            continue;
+        }
+        let report = detect_drift(&vals, MIN_CONSECUTIVE, cumulative_threshold);
+        series.push(TrendSeries {
+            entry,
+            metric,
+            values: vals,
+            report,
+        });
+    }
+    TrendAnalysis {
+        series,
+        insufficient,
+    }
+}
+
+fn kinds_label(report: &DriftReport) -> String {
+    if report.kinds.is_empty() {
+        return "ok".into();
+    }
+    let kinds: Vec<&str> = report
+        .kinds
+        .iter()
+        .map(|k| match k {
+            DriftKind::Consecutive => "consecutive",
+            DriftKind::Cumulative => "cumulative",
+        })
+        .collect();
+    format!("DRIFT ({})", kinds.join("+"))
+}
+
+/// Renders the human/CI-readable trend report.
+pub fn render_report(
+    analysis: &TrendAnalysis,
+    path: &Path,
+    records: usize,
+    skipped: usize,
+    cumulative_threshold: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("campaign trend — benchmark drift report\n");
+    out.push_str(&format!(
+        "history: {} ({records} records, {skipped} lines skipped)\n",
+        path.display()
+    ));
+    out.push_str(&format!(
+        "rules: >= {MIN_CONSECUTIVE} consecutive declining runs, or > {:.0}% cumulative \
+         drop from the series peak\n\n",
+        cumulative_threshold * 100.0
+    ));
+    if analysis.series.is_empty() {
+        out.push_str(&format!(
+            "insufficient history: no series has the {MIN_RUNS}+ runs the drift \
+             detector needs (gate runs extend results/{HISTORY_FILE})\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "{:<20} {:<36} {:>5} {:>12} {:>12} {:>7} {:>7}  status\n",
+            "entry", "metric", "runs", "latest", "peak", "drop", "streak"
+        ));
+        for s in &analysis.series {
+            let latest = *s.values.last().unwrap_or(&f64::NAN);
+            let peak = s.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "{:<20} {:<36} {:>5} {:>12.4} {:>12.4} {:>6.1}% {:>7}  {}\n",
+                s.entry,
+                s.metric,
+                s.values.len(),
+                latest,
+                peak,
+                s.report.drop_from_peak * 100.0,
+                s.report.declining_streak,
+                kinds_label(&s.report)
+            ));
+        }
+    }
+    if !analysis.insufficient.is_empty() {
+        out.push('\n');
+        for (entry, metric, runs) in &analysis.insufficient {
+            out.push_str(&format!(
+                "insufficient history: {entry} {metric} has {runs} run(s), needs {MIN_RUNS}\n"
+            ));
+        }
+    }
+    let drifting = analysis.drifting();
+    out.push('\n');
+    if drifting.is_empty() {
+        out.push_str("verdict: no drift detected\n");
+    } else {
+        out.push_str(&format!(
+            "verdict: DRIFT in {} series — slowdowns each inside the per-run gate \
+             tolerance have compounded\n",
+            drifting.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{check_fps, GateReport};
+
+    fn fps_record(fps: f64, timestamp: u64) -> HistoryRecord {
+        let check = check_fps("CHARISMA/lazy frames_per_second", 100_000.0, fps, 0.0, 0.30);
+        let report = GateReport {
+            entry: "bench_frame_loop".into(),
+            checks: vec![check],
+        };
+        HistoryRecord::from_gate_report(
+            &report,
+            BenchProfile::Quick,
+            0.30,
+            timestamp,
+            "deadbeef".into(),
+        )
+    }
+
+    #[test]
+    fn records_round_trip_through_the_ledger_line_format() {
+        let record = fps_record(92_000.0, 1_700_000_000);
+        let line = record.to_json().to_compact_string();
+        let back = HistoryRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, record);
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn unknown_keys_and_wrong_schema_are_rejected() {
+        let record = fps_record(92_000.0, 1);
+        let line = record.to_json().to_compact_string();
+        let extra = line.replacen('{', "{\"bogus\":1,", 1);
+        let e = HistoryRecord::from_json(&Json::parse(&extra).unwrap()).unwrap_err();
+        assert!(e.contains("unknown key"), "{e}");
+        let wrong = line.replace(HISTORY_SCHEMA, "charisma.other.v9");
+        let e = HistoryRecord::from_json(&Json::parse(&wrong).unwrap()).unwrap_err();
+        assert!(e.contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn corrupt_and_empty_ledger_lines_are_skipped_with_warnings() {
+        let dir = std::env::temp_dir().join(format!(
+            "charisma-trend-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(HISTORY_FILE);
+        let good = fps_record(95_000.0, 10).to_json().to_compact_string();
+        fs::write(
+            &path,
+            format!("{good}\n\nnot json at all\n{{\"schema\":\"wrong\"}}\n{good}\n"),
+        )
+        .unwrap();
+        let (records, warnings) = load_history(&path).unwrap();
+        assert_eq!(records.len(), 2, "{warnings:?}");
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_ledger_is_empty_history() {
+        let (records, warnings) =
+            load_history(Path::new("/nonexistent/definitely/missing.jsonl")).unwrap();
+        assert!(records.is_empty() && warnings.is_empty());
+    }
+
+    /// The acceptance scenario: three runs, each ~10 % slower than the
+    /// previous.  Every individual gate passes its 30 % tolerance, but the
+    /// cumulative 19 % drop from the series peak is exactly the slow drift
+    /// `campaign trend` exists to flag.
+    #[test]
+    fn three_run_ten_percent_drift_passes_the_gate_but_trips_the_trend() {
+        let fps = [100_000.0, 90_000.0, 81_000.0];
+        for f in fps {
+            let check = check_fps("m", 100_000.0, f, 0.0, 0.30);
+            assert!(check.passed, "each individual gate run must pass: {check}");
+        }
+        let records: Vec<HistoryRecord> = fps
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| fps_record(f, i as u64))
+            .collect();
+        let analysis = analyze_history(&records, DEFAULT_CUMULATIVE_THRESHOLD);
+        assert_eq!(analysis.series.len(), 1);
+        assert!(analysis.insufficient.is_empty());
+        let drifting = analysis.drifting();
+        assert_eq!(drifting.len(), 1, "{:?}", analysis.series);
+        assert!(
+            drifting[0].report.kinds.contains(&DriftKind::Cumulative),
+            "{:?}",
+            drifting[0].report
+        );
+    }
+
+    #[test]
+    fn two_runs_are_insufficient_history() {
+        let records = vec![fps_record(100_000.0, 0), fps_record(90_000.0, 1)];
+        let analysis = analyze_history(&records, DEFAULT_CUMULATIVE_THRESHOLD);
+        assert!(analysis.series.is_empty());
+        assert_eq!(analysis.insufficient.len(), 1);
+        let report = render_report(&analysis, Path::new("x.jsonl"), 2, 0, 0.15);
+        assert!(report.contains("insufficient history"), "{report}");
+    }
+
+    #[test]
+    fn steady_or_improving_series_do_not_drift() {
+        let records: Vec<HistoryRecord> = [100_000.0, 99_000.0, 101_000.0, 100_500.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| fps_record(f, i as u64))
+            .collect();
+        let analysis = analyze_history(&records, DEFAULT_CUMULATIVE_THRESHOLD);
+        assert_eq!(analysis.series.len(), 1);
+        assert!(analysis.drifting().is_empty(), "{:?}", analysis.series);
+    }
+
+    #[test]
+    fn sweep_checks_track_the_tolerance_margin() {
+        let sweep = HistoryCheck {
+            metric: "voice_loss_rate".into(),
+            baseline: 0.010,
+            fresh: 0.011,
+            allowed: 0.004,
+            margin: (0.004 - 0.001) / 0.004,
+        };
+        assert_eq!(sweep.health(), sweep.margin);
+        let fps = HistoryCheck {
+            metric: "CHARISMA/lazy frames_per_second".into(),
+            baseline: 100_000.0,
+            fresh: 95_000.0,
+            allowed: 70_000.0,
+            margin: 0.25,
+        };
+        assert_eq!(fps.health(), 95_000.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests for the checkpoint record codec.
+//!
+//! Checkpoint records must round-trip [`ReplicatedResult`]s **bit-exactly**
+//! through the strict-JSON line format — including NaNs, infinities, negative
+//! zero and the ±inf sentinels of empty accumulators, which is why every
+//! float field here is driven by arbitrary `u64` bit patterns rather than
+//! "nice" numeric strategies.  Re-serialising the decoded record must yield
+//! the original line byte-for-byte (an equality that, unlike `==` on floats,
+//! has no NaN blind spot).
+//!
+//! The rejection properties pin the strictness: an unknown key at the record
+//! or result level, a changed identity key, or a single corrupted hash digit
+//! must each refuse to parse — these are exactly the refusals that make
+//! `campaign run --resume` exit 2 instead of silently mixing incompatible
+//! runs.
+
+use charisma::metrics::{
+    CellCounters, ContentionStats, DataStats, HandoffStats, RepsAccumulator, RunMetrics,
+    RunningStat, SlotStats, VoiceStats,
+};
+use charisma::{ProtocolKind, ReplicatedResult, RunReport};
+use charisma_bench::checkpoint::{parse_record_line, record_line};
+use proptest::prelude::*;
+
+/// Deals arbitrary words (cyclically, so the supply never runs dry) to the
+/// struct builders below.
+struct Words<'a> {
+    words: &'a [u64],
+    i: usize,
+}
+
+impl Words<'_> {
+    fn u(&mut self) -> u64 {
+        let v = self.words[self.i % self.words.len()];
+        self.i += 1;
+        v
+    }
+
+    /// An arbitrary IEEE-754 bit pattern — any float, including NaN payloads.
+    fn f(&mut self) -> f64 {
+        f64::from_bits(self.u())
+    }
+
+    fn stat(&mut self) -> RunningStat {
+        RunningStat::from_raw_parts(self.u(), self.f(), self.f(), self.f(), self.f())
+    }
+
+    fn voice(&mut self) -> VoiceStats {
+        VoiceStats {
+            generated: self.u(),
+            delivered: self.u(),
+            dropped_deadline: self.u(),
+            transmission_errors: self.u(),
+            dropped_handoff: self.u(),
+        }
+    }
+
+    fn data(&mut self) -> DataStats {
+        DataStats {
+            arrived: self.u(),
+            delivered: self.u(),
+            retransmissions: self.u(),
+            delay: self.stat(),
+        }
+    }
+
+    fn slots(&mut self) -> SlotStats {
+        SlotStats {
+            offered: self.f(),
+            assigned: self.f(),
+            packets_carried: self.u(),
+            wasted: self.f(),
+        }
+    }
+}
+
+/// Builds a fully arbitrary replicated result from raw words.
+fn build_result(
+    words: &[u64],
+    protocol: ProtocolKind,
+    request_queue: bool,
+    cells: usize,
+) -> ReplicatedResult {
+    let mut w = Words { words, i: 0 };
+    let per_cell = (0..cells)
+        .map(|c| CellCounters {
+            cell: c as u32,
+            voice: w.voice(),
+            data: w.data(),
+            slots: w.slots(),
+            handoff_in: w.u(),
+            handoff_out: w.u(),
+            occupancy: w.stat(),
+            admission_queue: w.stat(),
+        })
+        .collect();
+    let metrics = RunMetrics {
+        frames: w.u(),
+        voice: w.voice(),
+        data: w.data(),
+        contention: ContentionStats {
+            attempts: w.u(),
+            collisions: w.u(),
+            successes: w.u(),
+            queue_length: w.stat(),
+        },
+        slots: w.slots(),
+        handoff: HandoffStats {
+            attempts: w.u(),
+            successes: w.u(),
+            failures: w.u(),
+            queued: w.u(),
+        },
+        per_cell,
+    };
+    ReplicatedResult {
+        load: w.f(),
+        protocol,
+        report: RunReport {
+            protocol,
+            request_queue,
+            num_voice: w.u() as u32,
+            num_data: w.u() as u32,
+            seed: w.u(),
+            metrics,
+        },
+        stats: RepsAccumulator::from_parts(w.stat(), w.stat(), w.stat()),
+    }
+}
+
+fn key_table() -> Vec<String> {
+    (0..8).map(|i| format!("key-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn record_lines_round_trip_bit_exactly(
+        words in proptest::collection::vec(any::<u64>(), 64..96),
+        proto in 0usize..6,
+        request_queue in any::<bool>(),
+        idx in 0usize..8,
+        cells in 0usize..3,
+    ) {
+        let result = build_result(&words, ProtocolKind::ALL[proto], request_queue, cells);
+        let keys = key_table();
+        let line = record_line(idx, &keys[idx], &result);
+        let (back_idx, back) = parse_record_line(&line, &keys)
+            .map_err(|e| TestCaseError::fail(format!("round trip refused: {e}")))?;
+        prop_assert_eq!(back_idx, idx);
+        // Byte-equal re-serialisation is the NaN-proof form of bit-exact
+        // equality: every float was persisted as its raw bit pattern.
+        prop_assert_eq!(record_line(idx, &keys[idx], &back), line);
+        prop_assert_eq!(back.stats.reps(), result.stats.reps());
+        prop_assert_eq!(back.protocol, result.protocol);
+    }
+
+    #[test]
+    fn unknown_keys_are_refused_at_both_levels(
+        words in proptest::collection::vec(any::<u64>(), 64..96),
+        proto in 0usize..6,
+        idx in 0usize..8,
+        top_level in any::<bool>(),
+    ) {
+        let result = build_result(&words, ProtocolKind::ALL[proto], true, 1);
+        let keys = key_table();
+        let line = record_line(idx, &keys[idx], &result);
+        let tampered = if top_level {
+            // Unknown key in the checkpoint record envelope itself.
+            line.replacen('{', "{\"smuggled\":0,", 1)
+        } else {
+            // Unknown key inside the persisted result payload.
+            line.replacen("\"result\":{", "\"result\":{\"smuggled\":0,", 1)
+        };
+        prop_assert_ne!(&tampered, &line);
+        let err = parse_record_line(&tampered, &keys);
+        prop_assert!(err.is_err(), "unknown key must refuse: {tampered}");
+        // The envelope refusal names the key; the payload refusal surfaces
+        // either the unknown key or the now-stale hash, both of which refuse
+        // the resume.
+        let msg = err.unwrap_err();
+        prop_assert!(
+            msg.contains("unknown key") || msg.contains("hash") || msg.contains("smuggled"),
+            "unexpected refusal message: {msg}"
+        );
+    }
+
+    #[test]
+    fn identity_key_mismatches_are_refused(
+        words in proptest::collection::vec(any::<u64>(), 64..96),
+        proto in 0usize..6,
+        idx in 0usize..8,
+    ) {
+        let result = build_result(&words, ProtocolKind::ALL[proto], false, 0);
+        let mut keys = key_table();
+        let line = record_line(idx, &keys[idx], &result);
+        // The campaign definition "changes" underneath the checkpoint.
+        keys[idx] = "different-campaign-point".to_string();
+        let msg = parse_record_line(&line, &keys).unwrap_err();
+        prop_assert!(msg.contains("does not match"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_hashes_are_refused(
+        words in proptest::collection::vec(any::<u64>(), 64..96),
+        proto in 0usize..6,
+        idx in 0usize..8,
+        digit in 0usize..16,
+    ) {
+        let result = build_result(&words, ProtocolKind::ALL[proto], true, 2);
+        let keys = key_table();
+        let line = record_line(idx, &keys[idx], &result);
+        let marker = "\"hash\":\"";
+        let start = line.find(marker).expect("records carry a hash") + marker.len();
+        let pos = start + digit; // the hash is exactly 16 hex digits
+        let original = line.as_bytes()[pos];
+        let flipped = if original == b'0' { b'1' } else { b'0' };
+        let mut tampered = line.clone().into_bytes();
+        tampered[pos] = flipped;
+        let tampered = String::from_utf8(tampered).unwrap();
+        let msg = parse_record_line(&tampered, &keys).unwrap_err();
+        prop_assert!(msg.contains("hash"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_points_are_refused(
+        words in proptest::collection::vec(any::<u64>(), 64..96),
+        idx in 8usize..32,
+    ) {
+        let result = build_result(&words, ProtocolKind::Charisma, true, 0);
+        let keys = key_table(); // 8 entries: any idx >= 8 is out of range
+        let line = record_line(idx, "whatever", &result);
+        let msg = parse_record_line(&line, &keys).unwrap_err();
+        prop_assert!(msg.contains("out of range"), "{msg}");
+    }
+}

@@ -16,7 +16,9 @@
 
 use crate::json::Json;
 use crate::spec::{CampaignPoint, FrameBudget, ScenarioSpec, SpecError};
-use crate::sweep::{run_sweep_replicated, ReplicationPolicy};
+use crate::sweep::{
+    run_sweep_replicated, run_sweep_replicated_observed, ReplicatedResult, ReplicationPolicy,
+};
 use crate::RunReport;
 use charisma_metrics::{capacity_at_threshold, RepsAccumulator};
 use serde::{Deserialize, Serialize};
@@ -127,6 +129,61 @@ impl Campaign {
             campaign: self.name.clone(),
             rows,
         })
+    }
+
+    /// [`Campaign::run_replicated`] with a resume seam and a completion
+    /// observer — the engine behind durable (checkpointed) campaign runs.
+    ///
+    /// `precomputed` must hold one slot per expanded point (in expansion
+    /// order); `Some` slots are spliced in verbatim instead of being
+    /// re-simulated, and `observer` sees every newly computed point (see
+    /// [`run_sweep_replicated_observed`]).  Rows come back in expansion
+    /// order; a `None` row is a point that never ran because the observer
+    /// requested an abort.  When every slot is `None` and the observer always
+    /// returns `true`, the assembled rows are exactly those of
+    /// [`Campaign::run_replicated`].
+    pub fn run_replicated_observed(
+        &self,
+        budget: FrameBudget,
+        default_reps: ReplicationPolicy,
+        threads: usize,
+        precomputed: Vec<Option<ReplicatedResult>>,
+        observer: &(dyn Fn(usize, &ReplicatedResult) -> bool + Sync),
+    ) -> Result<Vec<Option<CampaignRow>>, SpecError> {
+        default_reps.validate().map_err(SpecError)?;
+        let expanded = self.expand(budget)?;
+        if expanded.len() != precomputed.len() {
+            return Err(SpecError(format!(
+                "campaign \"{}\" expands to {} points but {} precomputed slots were supplied",
+                self.name,
+                expanded.len(),
+                precomputed.len()
+            )));
+        }
+        let mut metas = Vec::with_capacity(expanded.len());
+        let mut points = Vec::with_capacity(expanded.len());
+        for p in expanded {
+            metas.push((p.scenario, p.speed_kmh));
+            points.push((p.point, p.reps.unwrap_or(default_reps)));
+        }
+        let results = run_sweep_replicated_observed(points, threads, precomputed, observer);
+        Ok(metas
+            .into_iter()
+            .zip(results)
+            .map(|((scenario, speed_kmh), r)| {
+                r.map(|r| CampaignRow {
+                    scenario,
+                    protocol: r.protocol,
+                    request_queue: r.report.request_queue,
+                    num_voice: r.report.num_voice,
+                    num_data: r.report.num_data,
+                    speed_kmh,
+                    load: r.load,
+                    report: r.report,
+                    stats: r.stats,
+                })
+            })
+            .collect())
     }
 
     /// The distinct master seeds the campaign's points will use (for the run
@@ -445,6 +502,23 @@ mod tests {
         // An invalid default policy is rejected up front.
         assert!(campaign
             .run_replicated(tiny_budget(), ReplicationPolicy::fixed(0), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn observed_run_with_blank_slots_matches_run_replicated() {
+        let campaign = tiny_campaign();
+        let policy = ReplicationPolicy::fixed(2);
+        let full = campaign.run_replicated(tiny_budget(), policy, 1).unwrap();
+        let blank = (0..full.rows.len()).map(|_| None).collect();
+        let rows = campaign
+            .run_replicated_observed(tiny_budget(), policy, 2, blank, &|_, _| true)
+            .unwrap();
+        let rows: Vec<CampaignRow> = rows.into_iter().map(Option::unwrap).collect();
+        assert_eq!(rows, full.rows);
+        // The slot count is validated against the expansion.
+        assert!(campaign
+            .run_replicated_observed(tiny_budget(), policy, 1, Vec::new(), &|_, _| true)
             .is_err());
     }
 

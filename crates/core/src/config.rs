@@ -578,6 +578,66 @@ impl SimConfig {
 mod tests {
     use super::*;
 
+    /// Pins the exact `replication_seed` outputs over a (seed, rep) grid.
+    ///
+    /// Durable-campaign resume splices checkpointed results in place of
+    /// re-simulation, which is only sound while `replication_seed` stays a
+    /// pure, *stable* function of `(seed, rep)` — any refactor of the seed
+    /// derivation silently invalidates every existing checkpoint and
+    /// baseline.  These constants were computed from the shipped SplitMix64
+    /// derivation; if this test fails, the derivation changed and the
+    /// checkpoint schema version must change with it.
+    #[test]
+    fn replication_seed_golden_values() {
+        const GOLDEN: &[(u64, u32, u64)] = &[
+            (0x0, 0, 0x0000_0000_0000_0000),
+            (0x0, 1, 0x97a3_ebac_6c7a_79d4),
+            (0x0, 2, 0x4c64_490e_f994_db6b),
+            (0x0, 3, 0xb2df_bac6_f7ec_85bf),
+            (0x0, 7, 0xae9a_09ff_e446_d8c0),
+            (0x0, 15, 0x7c2d_a0b6_6b3c_7062),
+            (0x1, 0, 0x0000_0000_0000_0001),
+            (0x1, 1, 0xa291_6a30_ad47_96ac),
+            (0x1, 2, 0xf60b_398c_f2e3_d85a),
+            (0x1, 3, 0xdb78_b976_2e4a_d398),
+            (0x1, 7, 0xcb17_1a9b_1c17_64ae),
+            (0x1, 15, 0x6a6f_2faa_3e89_03dd),
+            (0x2a, 0, 0x0000_0000_0000_002a),
+            (0x2a, 1, 0x0352_0118_b48f_7e59),
+            (0x2a, 2, 0x61f2_3a12_8318_51aa),
+            (0x2a, 3, 0x887e_7892_2fac_fdc0),
+            (0x2a, 7, 0x86e6_4038_e573_a04b),
+            (0x2a, 15, 0xec15_c1fd_3518_6a2a),
+            (0x5eed_0000_0000_0001, 0, 0x5eed_0000_0000_0001),
+            (0x5eed_0000_0000_0001, 1, 0xf231_c709_8125_7398),
+            (0x5eed_0000_0000_0001, 2, 0x60a4_ec64_fd70_45c4),
+            (0x5eed_0000_0000_0001, 3, 0xd95d_ee4b_6b2a_b525),
+            (0x5eed_0000_0000_0001, 7, 0x7252_a7b0_0f64_c1d2),
+            (0x5eed_0000_0000_0001, 15, 0xd5f8_7f4d_c560_bcfe),
+            (0xdead_beef_5eed_cafe, 0, 0xdead_beef_5eed_cafe),
+            (0xdead_beef_5eed_cafe, 1, 0x0437_23eb_822d_a09a),
+            (0xdead_beef_5eed_cafe, 2, 0x5ccc_1b96_16d1_ff3b),
+            (0xdead_beef_5eed_cafe, 3, 0x48dc_61cf_8c9a_5e29),
+            (0xdead_beef_5eed_cafe, 7, 0xe024_d44b_0025_6a2c),
+            (0xdead_beef_5eed_cafe, 15, 0xcf56_1239_0352_8e76),
+            (0xffff_ffff_ffff_ffff, 0, 0xffff_ffff_ffff_ffff),
+            (0xffff_ffff_ffff_ffff, 1, 0x9feb_604d_4696_82fc),
+            (0xffff_ffff_ffff_ffff, 2, 0xf4db_db78_df2e_08d2),
+            (0xffff_ffff_ffff_ffff, 3, 0x7a3c_dfda_e5fa_6a8c),
+            (0xffff_ffff_ffff_ffff, 7, 0x290d_c065_72a3_bd44),
+            (0xffff_ffff_ffff_ffff, 15, 0xf2ef_8dcf_407f_7082),
+        ];
+        for &(seed, rep, expected) in GOLDEN {
+            let mut cfg = SimConfig::default_paper();
+            cfg.seed = seed;
+            assert_eq!(
+                cfg.replication_seed(rep),
+                expected,
+                "replication_seed({seed:#x}, {rep}) drifted from its pinned value"
+            );
+        }
+    }
+
     #[test]
     fn paper_default_is_internally_consistent() {
         let cfg = SimConfig::default_paper();

@@ -148,6 +148,63 @@ impl Json {
         }
     }
 
+    /// Serialises the value on a single line with no whitespace, for
+    /// line-oriented (JSONL) files such as the campaign checkpoints and the
+    /// benchmark history ledger.  Parses back to the identical value, same
+    /// as the pretty [`Display`](std::fmt::Display) form.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        use fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                // Same float policy as the pretty printer: integral floats
+                // keep a ".0" so they re-parse as Num, not Int.
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "{}", EscapedStr(s));
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", EscapedStr(k));
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         let pad_in = "  ".repeat(indent + 1);
@@ -220,6 +277,16 @@ impl Json {
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.write_indented(f, 0)
+    }
+}
+
+/// Displays a string in its JSON-escaped, quoted form (used by the compact
+/// writer, which appends to a `String` rather than a `Formatter`).
+struct EscapedStr<'a>(&'a str);
+
+impl fmt::Display for EscapedStr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_escaped(f, self.0)
     }
 }
 
@@ -558,6 +625,21 @@ mod tests {
         assert_eq!(Json::parse("0.5").unwrap(), Json::Num(0.5));
         assert_eq!(Json::parse("-0").unwrap(), Json::Num(-0.0));
         assert_eq!(Json::parse("10e2").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn compact_form_parses_back_to_the_same_value() {
+        let text = "{\"name\": \"fig11\", \"grid\": [1, 2, 3], \"nested\": {\"x\": 0.5, \
+                    \"flag\": false, \"none\": null}, \"items\": [{\"k\": \"v\"}], \
+                    \"esc\": \"a\\\"b\\nc\"}";
+        let v = Json::parse(text).unwrap();
+        let compact = v.to_compact_string();
+        assert!(!compact.contains('\n'), "compact form must be single-line");
+        assert!(!compact.contains(": "), "compact form has no padding");
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        // Float policy matches the pretty printer.
+        assert_eq!(Json::Num(50.0).to_compact_string(), "50.0");
+        assert_eq!(Json::Int(50).to_compact_string(), "50");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod campaign;
 pub mod cell;
 pub mod config;
 pub mod json;
+pub mod persist;
 pub mod protocols;
 pub mod scenario;
 pub mod spec;
@@ -65,6 +66,7 @@ pub use config::{
     LoadRamp, SimConfig, SystemConfig,
 };
 pub use json::Json;
+pub use persist::{decode_replicated_result, encode_replicated_result, fnv1a_64, PersistError};
 pub use protocols::{Charisma, DTdma, Drma, ProtocolKind, Rama, Rmav, UplinkMac};
 pub use scenario::{RunReport, Scenario};
 pub use spec::{
@@ -72,8 +74,8 @@ pub use spec::{
     SpecError,
 };
 pub use sweep::{
-    data_load_sweep, run_sweep, run_sweep_replicated, voice_load_sweep, ReplicatedResult,
-    ReplicationPolicy, SweepPoint, SweepResult,
+    data_load_sweep, run_sweep, run_sweep_replicated, run_sweep_replicated_observed,
+    voice_load_sweep, ReplicatedResult, ReplicationPolicy, SweepPoint, SweepResult,
 };
 pub use system::{cell_centers, flat_path_loss, hex_cells_for_rings, layout_bounds, SystemWorld};
 pub use terminal::{FrameTraffic, Terminal};

@@ -1,0 +1,514 @@
+//! Bit-exact persistence of sweep results for campaign checkpoints.
+//!
+//! A durable campaign run writes every completed sweep point to a checkpoint
+//! file and, on resume, splices the stored results back into the sweep in
+//! place of re-simulation ([`run_sweep_replicated_observed`]).  For the
+//! resumed run to be **byte-identical** to an uninterrupted one, the stored
+//! [`ReplicatedResult`] must survive the round trip exactly — including every
+//! `f64` in the Welford accumulators, whose derived CI columns are printed at
+//! six decimal places and would expose any last-ulp drift.
+//!
+//! Decimal text cannot guarantee that for intermediate values like the `m2`
+//! sums, so floats are persisted as their IEEE-754 bit patterns
+//! ([`f64::to_bits`] in a [`Json::Int`]), which also round-trips the ±∞
+//! sentinels of an empty accumulator and costs nothing at parse time.  The
+//! decoder is strict in the same spirit as the scenario-spec codec: unknown
+//! keys, missing keys and type mismatches are errors, never silently
+//! defaulted — a checkpoint that does not decode cleanly must not be resumed
+//! from.
+//!
+//! [`run_sweep_replicated_observed`]: crate::sweep::run_sweep_replicated_observed
+
+use crate::json::Json;
+use crate::protocols::ProtocolKind;
+use crate::scenario::RunReport;
+use crate::sweep::ReplicatedResult;
+use charisma_metrics::{
+    CellCounters, ContentionStats, DataStats, HandoffStats, RepsAccumulator, RunMetrics,
+    RunningStat, SlotStats, VoiceStats,
+};
+use std::fmt;
+
+/// A checkpoint encode/decode failure (strict codec: unknown keys, missing
+/// keys and type mismatches all land here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// FNV-1a 64-bit hash — the integrity check on checkpoint records.  Not
+/// cryptographic; it guards against truncated writes and accidental edits,
+/// not adversaries.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Strict field cursor over a JSON object: every key must be consumed exactly
+/// once, so unknown and missing keys are both hard errors.
+struct Fields<'a> {
+    ctx: &'static str,
+    pairs: &'a [(String, Json)],
+    used: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(ctx: &'static str, v: &'a Json) -> Result<Self, PersistError> {
+        let pairs = v.as_object().ok_or_else(|| {
+            PersistError(format!("{ctx} must be an object, got {}", v.type_name()))
+        })?;
+        Ok(Fields {
+            ctx,
+            pairs,
+            used: vec![false; pairs.len()],
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Result<&'a Json, PersistError> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == key {
+                self.used[i] = true;
+                return Ok(v);
+            }
+        }
+        Err(PersistError(format!("{} is missing \"{key}\"", self.ctx)))
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, PersistError> {
+        let ctx = self.ctx;
+        self.take(key)?
+            .as_u64()
+            .ok_or_else(|| PersistError(format!("{ctx} \"{key}\" must be an integer")))
+    }
+
+    fn u32(&mut self, key: &str) -> Result<u32, PersistError> {
+        let ctx = self.ctx;
+        u32::try_from(self.u64(key)?)
+            .map_err(|_| PersistError(format!("{ctx} \"{key}\" exceeds u32 range")))
+    }
+
+    fn bool(&mut self, key: &str) -> Result<bool, PersistError> {
+        let ctx = self.ctx;
+        self.take(key)?
+            .as_bool()
+            .ok_or_else(|| PersistError(format!("{ctx} \"{key}\" must be a boolean")))
+    }
+
+    /// An `f64` stored as its IEEE-754 bit pattern.
+    fn f64_bits(&mut self, key: &str) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64(key)?))
+    }
+
+    fn finish(self) -> Result<(), PersistError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.used[i] {
+                return Err(PersistError(format!("unknown key \"{k}\" in {}", self.ctx)));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn bits(x: f64) -> Json {
+    Json::Int(x.to_bits())
+}
+
+fn encode_stat(s: &RunningStat) -> Json {
+    let (count, mean, m2, min, max) = s.raw_parts();
+    Json::Object(vec![
+        ("count".into(), Json::Int(count)),
+        ("mean".into(), bits(mean)),
+        ("m2".into(), bits(m2)),
+        ("min".into(), bits(min)),
+        ("max".into(), bits(max)),
+    ])
+}
+
+fn decode_stat(v: &Json) -> Result<RunningStat, PersistError> {
+    let mut f = Fields::new("running stat", v)?;
+    let count = f.u64("count")?;
+    let mean = f.f64_bits("mean")?;
+    let m2 = f.f64_bits("m2")?;
+    let min = f.f64_bits("min")?;
+    let max = f.f64_bits("max")?;
+    f.finish()?;
+    Ok(RunningStat::from_raw_parts(count, mean, m2, min, max))
+}
+
+fn encode_voice(v: &VoiceStats) -> Json {
+    Json::Object(vec![
+        ("generated".into(), Json::Int(v.generated)),
+        ("delivered".into(), Json::Int(v.delivered)),
+        ("dropped_deadline".into(), Json::Int(v.dropped_deadline)),
+        (
+            "transmission_errors".into(),
+            Json::Int(v.transmission_errors),
+        ),
+        ("dropped_handoff".into(), Json::Int(v.dropped_handoff)),
+    ])
+}
+
+fn decode_voice(v: &Json) -> Result<VoiceStats, PersistError> {
+    let mut f = Fields::new("voice stats", v)?;
+    let out = VoiceStats {
+        generated: f.u64("generated")?,
+        delivered: f.u64("delivered")?,
+        dropped_deadline: f.u64("dropped_deadline")?,
+        transmission_errors: f.u64("transmission_errors")?,
+        dropped_handoff: f.u64("dropped_handoff")?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_data(d: &DataStats) -> Json {
+    Json::Object(vec![
+        ("arrived".into(), Json::Int(d.arrived)),
+        ("delivered".into(), Json::Int(d.delivered)),
+        ("retransmissions".into(), Json::Int(d.retransmissions)),
+        ("delay".into(), encode_stat(&d.delay)),
+    ])
+}
+
+fn decode_data(v: &Json) -> Result<DataStats, PersistError> {
+    let mut f = Fields::new("data stats", v)?;
+    let out = DataStats {
+        arrived: f.u64("arrived")?,
+        delivered: f.u64("delivered")?,
+        retransmissions: f.u64("retransmissions")?,
+        delay: decode_stat(f.take("delay")?)?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_contention(c: &ContentionStats) -> Json {
+    Json::Object(vec![
+        ("attempts".into(), Json::Int(c.attempts)),
+        ("collisions".into(), Json::Int(c.collisions)),
+        ("successes".into(), Json::Int(c.successes)),
+        ("queue_length".into(), encode_stat(&c.queue_length)),
+    ])
+}
+
+fn decode_contention(v: &Json) -> Result<ContentionStats, PersistError> {
+    let mut f = Fields::new("contention stats", v)?;
+    let out = ContentionStats {
+        attempts: f.u64("attempts")?,
+        collisions: f.u64("collisions")?,
+        successes: f.u64("successes")?,
+        queue_length: decode_stat(f.take("queue_length")?)?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_slots(s: &SlotStats) -> Json {
+    Json::Object(vec![
+        ("offered".into(), bits(s.offered)),
+        ("assigned".into(), bits(s.assigned)),
+        ("packets_carried".into(), Json::Int(s.packets_carried)),
+        ("wasted".into(), bits(s.wasted)),
+    ])
+}
+
+fn decode_slots(v: &Json) -> Result<SlotStats, PersistError> {
+    let mut f = Fields::new("slot stats", v)?;
+    let out = SlotStats {
+        offered: f.f64_bits("offered")?,
+        assigned: f.f64_bits("assigned")?,
+        packets_carried: f.u64("packets_carried")?,
+        wasted: f.f64_bits("wasted")?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_handoff(h: &HandoffStats) -> Json {
+    Json::Object(vec![
+        ("attempts".into(), Json::Int(h.attempts)),
+        ("successes".into(), Json::Int(h.successes)),
+        ("failures".into(), Json::Int(h.failures)),
+        ("queued".into(), Json::Int(h.queued)),
+    ])
+}
+
+fn decode_handoff(v: &Json) -> Result<HandoffStats, PersistError> {
+    let mut f = Fields::new("handoff stats", v)?;
+    let out = HandoffStats {
+        attempts: f.u64("attempts")?,
+        successes: f.u64("successes")?,
+        failures: f.u64("failures")?,
+        queued: f.u64("queued")?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_cell(c: &CellCounters) -> Json {
+    Json::Object(vec![
+        ("cell".into(), Json::Int(c.cell as u64)),
+        ("voice".into(), encode_voice(&c.voice)),
+        ("data".into(), encode_data(&c.data)),
+        ("slots".into(), encode_slots(&c.slots)),
+        ("handoff_in".into(), Json::Int(c.handoff_in)),
+        ("handoff_out".into(), Json::Int(c.handoff_out)),
+        ("occupancy".into(), encode_stat(&c.occupancy)),
+        ("admission_queue".into(), encode_stat(&c.admission_queue)),
+    ])
+}
+
+fn decode_cell(v: &Json) -> Result<CellCounters, PersistError> {
+    let mut f = Fields::new("cell counters", v)?;
+    let out = CellCounters {
+        cell: f.u32("cell")?,
+        voice: decode_voice(f.take("voice")?)?,
+        data: decode_data(f.take("data")?)?,
+        slots: decode_slots(f.take("slots")?)?,
+        handoff_in: f.u64("handoff_in")?,
+        handoff_out: f.u64("handoff_out")?,
+        occupancy: decode_stat(f.take("occupancy")?)?,
+        admission_queue: decode_stat(f.take("admission_queue")?)?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_metrics(m: &RunMetrics) -> Json {
+    Json::Object(vec![
+        ("frames".into(), Json::Int(m.frames)),
+        ("voice".into(), encode_voice(&m.voice)),
+        ("data".into(), encode_data(&m.data)),
+        ("contention".into(), encode_contention(&m.contention)),
+        ("slots".into(), encode_slots(&m.slots)),
+        ("handoff".into(), encode_handoff(&m.handoff)),
+        (
+            "per_cell".into(),
+            Json::Array(m.per_cell.iter().map(encode_cell).collect()),
+        ),
+    ])
+}
+
+fn decode_metrics(v: &Json) -> Result<RunMetrics, PersistError> {
+    let mut f = Fields::new("run metrics", v)?;
+    let out = RunMetrics {
+        frames: f.u64("frames")?,
+        voice: decode_voice(f.take("voice")?)?,
+        data: decode_data(f.take("data")?)?,
+        contention: decode_contention(f.take("contention")?)?,
+        slots: decode_slots(f.take("slots")?)?,
+        handoff: decode_handoff(f.take("handoff")?)?,
+        per_cell: f
+            .take("per_cell")?
+            .as_array()
+            .ok_or_else(|| PersistError("run metrics \"per_cell\" must be an array".into()))?
+            .iter()
+            .map(decode_cell)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_protocol(p: ProtocolKind) -> Json {
+    Json::Str(p.label().to_string())
+}
+
+fn decode_protocol(v: &Json, ctx: &'static str) -> Result<ProtocolKind, PersistError> {
+    let label = v
+        .as_str()
+        .ok_or_else(|| PersistError(format!("{ctx} protocol must be a string")))?;
+    ProtocolKind::from_label(label)
+        .ok_or_else(|| PersistError(format!("{ctx} names unknown protocol \"{label}\"")))
+}
+
+fn encode_report(r: &RunReport) -> Json {
+    Json::Object(vec![
+        ("protocol".into(), encode_protocol(r.protocol)),
+        ("request_queue".into(), Json::Bool(r.request_queue)),
+        ("num_voice".into(), Json::Int(r.num_voice as u64)),
+        ("num_data".into(), Json::Int(r.num_data as u64)),
+        ("seed".into(), Json::Int(r.seed)),
+        ("metrics".into(), encode_metrics(&r.metrics)),
+    ])
+}
+
+fn decode_report(v: &Json) -> Result<RunReport, PersistError> {
+    let mut f = Fields::new("run report", v)?;
+    let out = RunReport {
+        protocol: decode_protocol(f.take("protocol")?, "run report")?,
+        request_queue: f.bool("request_queue")?,
+        num_voice: f.u32("num_voice")?,
+        num_data: f.u32("num_data")?,
+        seed: f.u64("seed")?,
+        metrics: decode_metrics(f.take("metrics")?)?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+fn encode_reps(s: &RepsAccumulator) -> Json {
+    Json::Object(vec![
+        ("voice_loss".into(), encode_stat(s.voice_loss())),
+        ("data_throughput".into(), encode_stat(s.data_throughput())),
+        ("data_delay".into(), encode_stat(s.data_delay())),
+    ])
+}
+
+fn decode_reps(v: &Json) -> Result<RepsAccumulator, PersistError> {
+    let mut f = Fields::new("replication stats", v)?;
+    let out = RepsAccumulator::from_parts(
+        decode_stat(f.take("voice_loss")?)?,
+        decode_stat(f.take("data_throughput")?)?,
+        decode_stat(f.take("data_delay")?)?,
+    );
+    f.finish()?;
+    Ok(out)
+}
+
+/// Encodes one completed sweep point for checkpoint storage.  The inverse of
+/// [`decode_replicated_result`]; the round trip is bit-exact.
+pub fn encode_replicated_result(r: &ReplicatedResult) -> Json {
+    Json::Object(vec![
+        ("load".into(), bits(r.load)),
+        ("protocol".into(), encode_protocol(r.protocol)),
+        ("report".into(), encode_report(&r.report)),
+        ("stats".into(), encode_reps(&r.stats)),
+    ])
+}
+
+/// Decodes a checkpointed sweep point, strictly: unknown keys, missing keys
+/// and type mismatches are all errors.
+pub fn decode_replicated_result(v: &Json) -> Result<ReplicatedResult, PersistError> {
+    let mut f = Fields::new("sweep result", v)?;
+    let out = ReplicatedResult {
+        load: f.f64_bits("load")?,
+        protocol: decode_protocol(f.take("protocol")?, "sweep result")?,
+        report: decode_report(f.take("report")?)?,
+        stats: decode_reps(f.take("stats")?)?,
+    };
+    f.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::scenario::Scenario;
+
+    fn sample_result() -> ReplicatedResult {
+        let mut cfg = SimConfig::quick_test();
+        cfg.warmup_frames = 100;
+        cfg.measured_frames = 600;
+        cfg.num_voice = 8;
+        cfg.num_data = 2;
+        let report = Scenario::new(cfg).run(ProtocolKind::Charisma);
+        let mut stats = RepsAccumulator::new();
+        stats.push(&report.metrics);
+        stats.push(&report.metrics);
+        ReplicatedResult {
+            load: 8.0,
+            protocol: ProtocolKind::Charisma,
+            report,
+            stats,
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn replicated_result_round_trips_bit_exactly() {
+        let r = sample_result();
+        let encoded = encode_replicated_result(&r);
+        let text = encoded.to_compact_string();
+        let reparsed = Json::parse(&text).unwrap();
+        let back = decode_replicated_result(&reparsed).unwrap();
+        assert_eq!(back, r);
+        // Second serialisation yields the same bytes (deterministic writer).
+        assert_eq!(encode_replicated_result(&back).to_compact_string(), text);
+    }
+
+    #[test]
+    fn empty_accumulator_sentinels_survive_the_trip() {
+        // min = +inf / max = -inf in an empty RunningStat have no JSON number
+        // form; the bit-pattern encoding must still round-trip them.
+        let s = RunningStat::new();
+        let back = decode_stat(&encode_stat(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_at_every_level() {
+        let r = sample_result();
+        let mut top = match encode_replicated_result(&r) {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        top.push(("surprise".into(), Json::Int(1)));
+        let err = decode_replicated_result(&Json::Object(top)).unwrap_err();
+        assert!(err.to_string().contains("surprise"), "{err}");
+
+        // A nested unknown key is also fatal.
+        let mut nested = encode_replicated_result(&r);
+        if let Json::Object(pairs) = &mut nested {
+            if let Some((_, Json::Object(report))) = pairs.iter_mut().find(|(k, _)| k == "report") {
+                report.push(("extra".into(), Json::Null));
+            }
+        }
+        assert!(decode_replicated_result(&nested).is_err());
+    }
+
+    #[test]
+    fn missing_keys_and_type_mismatches_are_rejected() {
+        let r = sample_result();
+        let mut missing = match encode_replicated_result(&r) {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        missing.retain(|(k, _)| k != "stats");
+        assert!(decode_replicated_result(&Json::Object(missing)).is_err());
+
+        let mut wrong = encode_replicated_result(&r);
+        if let Json::Object(pairs) = &mut wrong {
+            for (k, v) in pairs.iter_mut() {
+                if k == "protocol" {
+                    *v = Json::Int(3);
+                }
+            }
+        }
+        assert!(decode_replicated_result(&wrong).is_err());
+
+        assert!(decode_replicated_result(&Json::Array(vec![])).is_err());
+    }
+
+    #[test]
+    fn unknown_protocol_labels_are_rejected() {
+        let mut v = encode_replicated_result(&sample_result());
+        if let Json::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "protocol" {
+                    *val = Json::Str("NOT-A-MAC".into());
+                }
+            }
+        }
+        assert!(decode_replicated_result(&v).is_err());
+    }
+}

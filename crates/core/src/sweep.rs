@@ -216,9 +216,48 @@ pub fn run_sweep_replicated(
     points: Vec<(SweepPoint, ReplicationPolicy)>,
     threads: usize,
 ) -> Vec<ReplicatedResult> {
+    let blank: Vec<Option<ReplicatedResult>> = (0..points.len()).map(|_| None).collect();
+    run_sweep_replicated_observed(points, threads, blank, &|_, _| true)
+        .into_iter()
+        .map(|r| r.expect("every sweep point must produce a result"))
+        .collect()
+}
+
+/// [`run_sweep_replicated`] with a resume seam and a completion observer —
+/// the execution engine behind durable (checkpointed) campaigns.
+///
+/// * `precomputed` must be one slot per point.  A `Some` slot is a point
+///   already completed by an earlier (interrupted) run: it is returned
+///   verbatim, never re-simulated and never observed.  Because every point's
+///   result is a pure function of (point, policy), splicing checkpointed
+///   results in this way reproduces an uninterrupted sweep bit for bit.
+/// * `observer` is called once per *newly computed* point with the point's
+///   index in `points` and its result, from whichever worker thread finished
+///   it (callers needing order must use the index).  Returning `false`
+///   requests a cooperative abort: no worker starts another point, though
+///   points already in flight on other workers still complete and are
+///   observed.  Aborted (never-started) points come back as `None`.
+///
+/// Replications of a point still run sequentially inside one worker, so the
+/// computed results — and therefore the observer's view of them — are
+/// byte-identical across thread counts.
+pub fn run_sweep_replicated_observed(
+    points: Vec<(SweepPoint, ReplicationPolicy)>,
+    threads: usize,
+    precomputed: Vec<Option<ReplicatedResult>>,
+    observer: &(dyn Fn(usize, &ReplicatedResult) -> bool + Sync),
+) -> Vec<Option<ReplicatedResult>> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    assert_eq!(
+        points.len(),
+        precomputed.len(),
+        "one precomputed slot per sweep point"
+    );
     if points.is_empty() {
         return Vec::new();
     }
+    let pending = precomputed.iter().filter(|r| r.is_none()).count();
     let worker_count = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -226,43 +265,67 @@ pub fn run_sweep_replicated(
     } else {
         threads
     }
-    .min(points.len());
+    .min(pending.max(1));
+
+    let mut results = precomputed;
+    let abort = AtomicBool::new(false);
 
     if worker_count <= 1 {
-        return points
-            .into_iter()
-            .map(|(point, policy)| run_point(&point, policy))
-            .collect();
+        for (idx, ((point, policy), slot)) in points.iter().zip(results.iter_mut()).enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let result = run_point(point, *policy);
+            if !observer(idx, &result) {
+                abort.store(true, Ordering::Relaxed);
+            }
+            *slot = Some(result);
+        }
+        return results;
     }
 
-    // Pre-split the result vector: each point gets its own exclusive slot, so
-    // workers write results without ever touching a shared lock.  Cells are
-    // dealt round-robin, which also interleaves cheap and expensive points
-    // (sweeps typically order points by increasing load) across workers.
+    // Pre-split the result vector: each pending point gets its own exclusive
+    // slot, so workers write results without ever touching a shared lock.
+    // Cells are dealt round-robin, which also interleaves cheap and expensive
+    // points (sweeps typically order points by increasing load) across
+    // workers.
     type Cell<'a> = (
+        usize,
         &'a (SweepPoint, ReplicationPolicy),
         &'a mut Option<ReplicatedResult>,
     );
-    let mut results: Vec<Option<ReplicatedResult>> = (0..points.len()).map(|_| None).collect();
     let mut buckets: Vec<Vec<Cell<'_>>> = (0..worker_count).map(|_| Vec::new()).collect();
+    let mut dealt = 0usize;
     for (idx, (point, slot)) in points.iter().zip(results.iter_mut()).enumerate() {
-        buckets[idx % worker_count].push((point, slot));
+        if slot.is_some() {
+            continue;
+        }
+        buckets[dealt % worker_count].push((idx, point, slot));
+        dealt += 1;
     }
 
+    let abort = &abort;
     std::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(move || {
-                for ((point, policy), slot) in bucket {
-                    *slot = Some(run_point(point, *policy));
+                for (idx, (point, policy), slot) in bucket {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let result = run_point(point, *policy);
+                    if !observer(idx, &result) {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    *slot = Some(result);
                 }
             });
         }
     });
 
     results
-        .into_iter()
-        .map(|r| r.expect("every sweep point must produce a result"))
-        .collect()
 }
 
 /// Builds the sweep points for one protocol over a range of voice-user
@@ -460,6 +523,49 @@ mod tests {
         let serial = run_sweep_replicated(points.clone(), 1);
         let parallel = run_sweep_replicated(points, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn precomputed_points_are_spliced_not_resimulated() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let base = tiny_config();
+        let points: Vec<(SweepPoint, ReplicationPolicy)> =
+            voice_load_sweep(&base, ProtocolKind::Charisma, &[5, 10, 15], 1, false)
+                .into_iter()
+                .map(|p| (p, ReplicationPolicy::fixed(2)))
+                .collect();
+        let full = run_sweep_replicated(points.clone(), 1);
+
+        // Hand point 1 back as "already done" and watch only 0 and 2 recompute.
+        let precomputed = vec![None, Some(full[1].clone()), None];
+        let observed = AtomicUsize::new(0);
+        let resumed = run_sweep_replicated_observed(points, 2, precomputed, &|idx, r| {
+            observed.fetch_add(1, Ordering::Relaxed);
+            assert_ne!(idx, 1, "precomputed point must not be observed");
+            assert_eq!(r, &full[idx]);
+            true
+        });
+        assert_eq!(observed.load(Ordering::Relaxed), 2);
+        let resumed: Vec<ReplicatedResult> = resumed.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            resumed, full,
+            "splice must reproduce the full sweep exactly"
+        );
+    }
+
+    #[test]
+    fn observer_abort_stops_starting_new_points() {
+        let base = tiny_config();
+        let points: Vec<(SweepPoint, ReplicationPolicy)> =
+            voice_load_sweep(&base, ProtocolKind::DTdmaFr, &[5, 10, 15, 20], 0, false)
+                .into_iter()
+                .map(|p| (p, ReplicationPolicy::SINGLE))
+                .collect();
+        let blank = (0..points.len()).map(|_| None).collect();
+        // Single worker: abort after the first completion is exact.
+        let partial = run_sweep_replicated_observed(points, 1, blank, &|_, _| false);
+        assert!(partial[0].is_some());
+        assert!(partial[1..].iter().all(Option::is_none));
     }
 
     #[test]

@@ -60,6 +60,29 @@ impl RunningStat {
         }
     }
 
+    /// Reconstructs an accumulator from raw Welford state, the inverse of
+    /// [`RunningStat::raw_parts`].  Used by the campaign checkpoint codec to
+    /// persist accumulators bit-exactly across a crash/resume boundary; the
+    /// fields are trusted verbatim, so only feed values previously produced
+    /// by `raw_parts`.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStat {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// Exposes the raw Welford state `(count, mean, m2, min, max)` for exact
+    /// persistence.  Unlike the derived accessors ([`RunningStat::mean`],
+    /// [`RunningStat::min`], …) this performs no empty-accumulator
+    /// normalisation, so `from_raw_parts(raw_parts(s)) == s` bit for bit.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         debug_assert!(
@@ -204,6 +227,21 @@ impl RepsAccumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reassembles an accumulator from its three per-metric stats, in the
+    /// order `(voice_loss, data_throughput, data_delay)`.  Checkpoint-codec
+    /// counterpart of the borrow accessors below.
+    pub fn from_parts(
+        voice_loss: RunningStat,
+        data_throughput: RunningStat,
+        data_delay: RunningStat,
+    ) -> Self {
+        RepsAccumulator {
+            voice_loss,
+            data_throughput,
+            data_delay,
+        }
     }
 
     /// Adds one replication's run metrics.
@@ -383,6 +421,21 @@ mod tests {
         sym.push(-1.0);
         sym.push(1.0);
         assert_eq!(sym.rel_ci95_half_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bit_exact() {
+        let mut s = RunningStat::new();
+        for x in [0.1, -3.5, 7.25, 0.1 + 0.2] {
+            s.push(x);
+        }
+        let (count, mean, m2, min, max) = s.raw_parts();
+        let back = RunningStat::from_raw_parts(count, mean, m2, min, max);
+        assert_eq!(back, s);
+        // Empty accumulators round-trip too, sentinels (±inf) included.
+        let empty = RunningStat::new();
+        let (c, m, q, lo, hi) = empty.raw_parts();
+        assert_eq!(RunningStat::from_raw_parts(c, m, q, lo, hi), empty);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Slow-drift detection over a performance-history series.
+//!
+//! The per-run campaign gate compares one fresh measurement against one
+//! baseline with a generous tolerance (30 % by default), so a regression
+//! that arrives in small steps — each inside tolerance — passes every
+//! individual gate while the cumulative slowdown grows unbounded.  This
+//! module supplies the pure statistics behind `campaign trend`: given a
+//! chronological series of health values (frames per second, or a gate
+//! margin where larger is healthier), it reports whether the tail of the
+//! series shows monotone or cumulative decline.
+//!
+//! The detector is deliberately simple and deterministic — no smoothing, no
+//! randomised tests — so that a trend verdict is reproducible from the
+//! history file alone.
+
+/// Why a series was flagged as drifting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The last `streak` runs were each strictly worse than their
+    /// predecessor.
+    Consecutive,
+    /// The latest value sits below the series peak by at least the
+    /// cumulative threshold, even if individual steps were not monotone.
+    Cumulative,
+}
+
+/// Verdict of [`detect_drift`] on one health series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Length of the strictly-declining suffix ending at the latest value
+    /// (a lone value has streak 0; `a > b` contributes 1).
+    pub declining_streak: usize,
+    /// Relative drop of the latest value from the series maximum,
+    /// `(peak - latest) / peak`, clamped to 0 when the peak is not positive.
+    pub drop_from_peak: f64,
+    /// The flagged drift kinds, in severity order (consecutive first).
+    /// Empty means the series is healthy.
+    pub kinds: Vec<DriftKind>,
+}
+
+impl DriftReport {
+    /// Whether any drift criterion fired.
+    pub fn is_drifting(&self) -> bool {
+        !self.kinds.is_empty()
+    }
+}
+
+/// Scans a chronological health series (larger = healthier) for slow drift.
+///
+/// Flags [`DriftKind::Consecutive`] when the strictly-declining suffix of
+/// the series spans at least `min_consecutive` declining *steps* (so with
+/// `min_consecutive = 3` the last four values must each be worse than the
+/// one before), and [`DriftKind::Cumulative`] when the latest value has
+/// fallen at least `cumulative_threshold` (relative) below the series peak.
+/// Non-finite values are ignored as corrupt. Series with fewer than two
+/// finite values carry no trend information and are never flagged.
+pub fn detect_drift(
+    values: &[f64],
+    min_consecutive: usize,
+    cumulative_threshold: f64,
+) -> DriftReport {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.len() < 2 {
+        return DriftReport {
+            declining_streak: 0,
+            drop_from_peak: 0.0,
+            kinds: Vec::new(),
+        };
+    }
+
+    let mut streak = 0usize;
+    for w in clean.windows(2).rev() {
+        if w[1] < w[0] {
+            streak += 1;
+        } else {
+            break;
+        }
+    }
+
+    let peak = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let latest = *clean.last().expect("non-empty");
+    let drop_from_peak = if peak > 0.0 {
+        ((peak - latest) / peak).max(0.0)
+    } else {
+        0.0
+    };
+
+    let mut kinds = Vec::new();
+    if min_consecutive > 0 && streak >= min_consecutive {
+        kinds.push(DriftKind::Consecutive);
+    }
+    if cumulative_threshold > 0.0 && drop_from_peak >= cumulative_threshold {
+        kinds.push(DriftKind::Cumulative);
+    }
+    DriftReport {
+        declining_streak: streak,
+        drop_from_peak,
+        kinds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_series_are_never_flagged() {
+        for series in [&[][..], &[10.0][..], &[f64::NAN, 10.0][..]] {
+            let r = detect_drift(series, 1, 0.01);
+            assert!(!r.is_drifting(), "{series:?}");
+            assert_eq!(r.declining_streak, 0);
+        }
+    }
+
+    #[test]
+    fn healthy_flat_series_passes() {
+        let r = detect_drift(&[100.0, 100.0, 100.0, 100.0], 3, 0.15);
+        assert!(!r.is_drifting());
+        assert_eq!(r.declining_streak, 0);
+        assert_eq!(r.drop_from_peak, 0.0);
+    }
+
+    #[test]
+    fn three_consecutive_declines_are_flagged() {
+        // Each step ~4 % down — far inside a 30 % per-run gate tolerance.
+        let r = detect_drift(&[100.0, 96.0, 92.0, 88.5], 3, 0.50);
+        assert_eq!(r.declining_streak, 3);
+        assert_eq!(r.kinds, vec![DriftKind::Consecutive]);
+    }
+
+    #[test]
+    fn recovery_resets_the_streak() {
+        let r = detect_drift(&[100.0, 96.0, 92.0, 95.0, 94.0], 3, 0.50);
+        assert_eq!(r.declining_streak, 1);
+        assert!(!r.is_drifting());
+    }
+
+    #[test]
+    fn cumulative_drop_is_flagged_without_monotone_decline() {
+        // Sawtooth decline: never three in a row, but 20 % off the peak.
+        let r = detect_drift(&[100.0, 92.0, 95.0, 87.0, 89.0, 80.0], 3, 0.15);
+        assert!(r.declining_streak < 3);
+        assert!((r.drop_from_peak - 0.20).abs() < 1e-12);
+        assert_eq!(r.kinds, vec![DriftKind::Cumulative]);
+    }
+
+    #[test]
+    fn both_criteria_can_fire_together() {
+        let r = detect_drift(&[100.0, 90.0, 80.0, 70.0], 3, 0.15);
+        assert_eq!(r.kinds, vec![DriftKind::Consecutive, DriftKind::Cumulative]);
+        assert!(r.is_drifting());
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let r = detect_drift(&[100.0, f64::NAN, 96.0, f64::INFINITY, 92.0, 88.0], 3, 0.50);
+        assert_eq!(r.declining_streak, 3);
+        assert_eq!(r.kinds, vec![DriftKind::Consecutive]);
+    }
+
+    #[test]
+    fn non_positive_peak_disables_relative_drop() {
+        let r = detect_drift(&[-1.0, -2.0], 5, 0.15);
+        assert_eq!(r.drop_from_peak, 0.0);
+        assert!(!r.is_drifting());
+    }
+}
