@@ -117,9 +117,10 @@ impl Cell {
     /// over the (global) terminal population restricted to this cell's
     /// members and runs the MAC.  `traffic` and `terminals` span the whole
     /// system, indexed by terminal id; `terminals` is anything convertible
-    /// into a [`TerminalTable`] — a plain `&mut [Terminal]` on the
-    /// single-threaded paths, a raw table over the shared population when
-    /// cells of a sharded [`crate::system::SystemWorld`] step in parallel.
+    /// into a [`TerminalTable`] — a `&mut `[`crate::columns::TerminalColumns`]
+    /// on the single-threaded paths, a view-backed table over the shared
+    /// column store when cells of a sharded [`crate::system::SystemWorld`]
+    /// step in parallel.
     pub fn step<'a>(
         &mut self,
         frame: u64,
@@ -190,37 +191,35 @@ mod tests {
 
     #[test]
     fn step_runs_a_mac_frame_and_counts_measured_frames() {
+        use crate::columns::TerminalColumns;
         let config = SimConfig::quick_test();
         let streams = RngStreams::new(config.seed);
         let clock = config.clock();
-        let mut terminals: Vec<Terminal> = (0..4)
-            .map(|i| {
-                Terminal::new(
-                    TerminalId(i),
-                    TerminalClass::Voice,
-                    clock,
-                    config.voice_source,
-                    config.data_source,
-                    config.channel,
-                    config.channel_mode,
-                    &config.speed,
-                    &streams,
-                )
-            })
-            .collect();
-        let mut traffic = vec![FrameTraffic::default(); terminals.len()];
+        let mut columns = TerminalColumns::with_capacity(clock, config.channel_mode, 4);
+        for i in 0..4 {
+            columns.push(Terminal::new(
+                TerminalId(i),
+                TerminalClass::Voice,
+                clock,
+                config.voice_source,
+                config.data_source,
+                config.channel,
+                config.channel_mode,
+                &config.speed,
+                &streams,
+            ));
+        }
+        let mut traffic = vec![FrameTraffic::default(); columns.len()];
         let mut cell = Cell::new(&config, &streams, 0, (0..4).map(TerminalId).collect());
         let mut mac = ProtocolKind::Charisma.build(&config);
         for frame in 0..10 {
-            for (i, t) in terminals.iter_mut().enumerate() {
-                traffic[i] = t.begin_frame(frame);
-            }
+            columns.begin_frame_all(frame, &mut traffic);
             cell.step(
                 frame,
                 &config,
                 frame >= 5,
                 &traffic,
-                &mut terminals,
+                &mut columns,
                 mac.as_mut(),
             );
         }

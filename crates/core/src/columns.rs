@@ -1,0 +1,1129 @@
+//! Structure-of-arrays storage for protocol-independent terminal state.
+//!
+//! [`TerminalColumns`] owns the per-terminal state of a whole population as
+//! parallel columns — one contiguous array per field — instead of a
+//! `Vec<Terminal>` of ~300-byte structs.  The per-frame sweep (source
+//! stepping, deadline expiry, fading advance, SNR sampling) then runs as
+//! tight loops over the columns it actually touches, which is what lets the
+//! frame loop batch well at 10k+ terminals per cell.
+//!
+//! # Column layout
+//!
+//! Terminals are pushed in index order, so column slot `i` is terminal
+//! `TerminalId(i)` everywhere in the store.  The columns are:
+//!
+//! | column              | element                      | written by                 |
+//! |---------------------|------------------------------|----------------------------|
+//! | `class`             | `TerminalClass`              | construction only          |
+//! | `active_from_frame` | `u64`                        | construction only          |
+//! | `in_talkspurt`      | `bool`                       | `begin_frame`              |
+//! | `traffic_boundary`  | `u64`                        | `begin_frame`              |
+//! | `voice_source`      | `Option<VoiceSource>`        | `begin_frame`              |
+//! | `voice_buffer`      | `VoiceBuffer`                | `begin_frame`, MAC serving |
+//! | `data_source`       | `Option<DataSource>`         | `begin_frame`              |
+//! | `data_buffer`       | `DataBuffer`                 | `begin_frame`, MAC serving |
+//! | `mean_snr_db`       | `f64`                        | mobility / path-loss       |
+//! | `short`             | `ShortTermFading`            | channel advance            |
+//! | `long`              | `LongTermShadowing`          | channel advance            |
+//! | `chan_rng`          | `Xoshiro256StarStar`         | channel advance            |
+//! | `chan_now`          | `SimTime`                    | channel advance            |
+//! | `snr_cache`         | `Option<(SimTime, f64)>`     | SNR sampling               |
+//! | `contention_rng`    | `Xoshiro256StarStar`         | contention draws           |
+//! | `phy_rng`           | `Xoshiro256StarStar`         | packet-error draws         |
+//!
+//! # Determinism
+//!
+//! The columnar refactor changes *layout*, not *draws*: every random stream
+//! is still private to one (domain, terminal) pair, every per-terminal
+//! operation performs exactly the draws and floating-point operations the
+//! object-per-terminal code performed, and batched loops visit terminals in
+//! ascending index order — the documented draw order.  The golden-bytes
+//! suite in `tests/determinism.rs` pins pre-refactor report bytes against
+//! this implementation.
+//!
+//! # Shared access
+//!
+//! `ColumnsView` is the crate-internal raw handle: a bundle of column base
+//! pointers that the sharded system layer copies into its per-cell workers.
+//! Exclusivity is by *cell membership partition* — every terminal index
+//! belongs to exactly one cell per frame, and a worker only touches the
+//! indices of the cells it owns — which is the same soundness contract the
+//! previous `Vec<Terminal>`-based grid used, now concentrated in one type.
+
+use charisma_des::{FrameClock, SimTime, Xoshiro256StarStar};
+use charisma_radio::{ChannelMode, LongTermShadowing, ShortTermFading};
+use charisma_traffic::{
+    buffer::VoicePacket, DataBuffer, DataSource, TerminalClass, VoiceBuffer, VoiceSource,
+};
+
+use crate::terminal::{FrameTraffic, Terminal};
+
+/// Population-wide sums of one frame boundary's traffic events, accumulated
+/// by [`TerminalColumns::begin_frame_all`] alongside the per-terminal
+/// [`FrameTraffic`] reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// Voice packets generated at this boundary.
+    pub voice_generated: u64,
+    /// Voice packets dropped at this boundary (deadline expiry).
+    pub voice_dropped: u64,
+    /// Data packets that arrived at this boundary.
+    pub data_arrived: u64,
+}
+
+/// Structure-of-arrays store of every terminal's protocol-independent state.
+///
+/// Built by pushing [`Terminal`] construction records in index order; from
+/// then on all per-frame behaviour (traffic advance, channel stepping, SNR
+/// sampling, buffer service) is expressed over column indices.
+#[derive(Debug)]
+pub struct TerminalColumns {
+    clock: FrameClock,
+    channel_mode: ChannelMode,
+    class: Vec<TerminalClass>,
+    active_from_frame: Vec<u64>,
+    in_talkspurt: Vec<bool>,
+    /// First frame index at which `begin_frame` must do any work for the
+    /// terminal: the earlier of the next source event (clamped to the
+    /// activation frame while dormant) and the first frame boundary at or
+    /// past the earliest buffered voice deadline.  Frames strictly before it
+    /// are total no-ops — no source step, no expiry, no report — which is
+    /// what lets the per-frame sweep skip idle terminals without touching
+    /// their buffers.  MAC service between sweeps only removes packets, so
+    /// the deadline component can only move later and the stored bound stays
+    /// conservative.
+    traffic_boundary: Vec<u64>,
+    voice_source: Vec<Option<VoiceSource>>,
+    voice_buffer: Vec<VoiceBuffer>,
+    data_source: Vec<Option<DataSource>>,
+    data_buffer: Vec<DataBuffer>,
+    mean_snr_db: Vec<f64>,
+    short: Vec<ShortTermFading>,
+    long: Vec<LongTermShadowing>,
+    chan_rng: Vec<Xoshiro256StarStar>,
+    chan_now: Vec<SimTime>,
+    snr_cache: Vec<Option<(SimTime, f64)>>,
+    contention_rng: Vec<Xoshiro256StarStar>,
+    phy_rng: Vec<Xoshiro256StarStar>,
+}
+
+impl TerminalColumns {
+    /// Creates an empty store for a population driven by `clock` whose
+    /// channels advance in `channel_mode`.
+    pub fn new(clock: FrameClock, channel_mode: ChannelMode) -> Self {
+        Self::with_capacity(clock, channel_mode, 0)
+    }
+
+    /// Like [`TerminalColumns::new`] with pre-allocated column capacity.
+    pub fn with_capacity(clock: FrameClock, channel_mode: ChannelMode, capacity: usize) -> Self {
+        TerminalColumns {
+            clock,
+            channel_mode,
+            class: Vec::with_capacity(capacity),
+            active_from_frame: Vec::with_capacity(capacity),
+            in_talkspurt: Vec::with_capacity(capacity),
+            traffic_boundary: Vec::with_capacity(capacity),
+            voice_source: Vec::with_capacity(capacity),
+            voice_buffer: Vec::with_capacity(capacity),
+            data_source: Vec::with_capacity(capacity),
+            data_buffer: Vec::with_capacity(capacity),
+            mean_snr_db: Vec::with_capacity(capacity),
+            short: Vec::with_capacity(capacity),
+            long: Vec::with_capacity(capacity),
+            chan_rng: Vec::with_capacity(capacity),
+            chan_now: Vec::with_capacity(capacity),
+            snr_cache: Vec::with_capacity(capacity),
+            contention_rng: Vec::with_capacity(capacity),
+            phy_rng: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Decomposes `terminal` into the columns.  Terminals must be pushed in
+    /// ascending index order so slot `i` is `TerminalId(i)`.
+    pub fn push(&mut self, terminal: Terminal) {
+        let parts = terminal.into_parts();
+        debug_assert_eq!(
+            parts.id.index() as usize,
+            self.class.len(),
+            "terminals must be pushed in index order"
+        );
+        debug_assert_eq!(parts.clock, self.clock, "terminal clock mismatch");
+        debug_assert_eq!(
+            parts.channel_mode, self.channel_mode,
+            "terminal channel mode mismatch"
+        );
+        self.class.push(parts.class);
+        self.active_from_frame.push(parts.active_from_frame);
+        self.in_talkspurt.push(parts.in_talkspurt);
+        self.traffic_boundary.push(Self::boundary_for(
+            &parts.voice_source,
+            &parts.data_source,
+            &parts.voice_buffer,
+            parts.active_from_frame,
+            0,
+            self.clock.frame_duration().as_micros(),
+        ));
+        self.voice_source.push(parts.voice_source);
+        self.voice_buffer.push(parts.voice_buffer);
+        self.data_source.push(parts.data_source);
+        self.data_buffer.push(parts.data_buffer);
+        self.mean_snr_db.push(parts.channel.config.mean_snr_db);
+        self.short.push(parts.channel.short);
+        self.long.push(parts.channel.long);
+        self.chan_rng.push(parts.channel.rng);
+        self.chan_now.push(parts.channel.now);
+        self.snr_cache.push(None);
+        self.contention_rng.push(parts.contention_rng);
+        self.phy_rng.push(parts.phy_rng);
+    }
+
+    /// First frame at which `begin_frame` must do any work for a terminal in
+    /// this state: the earlier of the two sources' next events — clamped to
+    /// the activation frame while the next frame to visit (`frame_index`) is
+    /// at or before it, so the activation boundary itself is never skipped
+    /// and `in_talkspurt` / buffer state update there exactly as in the
+    /// every-frame path — and the first frame boundary at or past the
+    /// earliest buffered voice deadline (the first frame whose expiry check
+    /// could drop a packet; a packet with deadline `d` is dropped at the
+    /// first frame start `k·T ≥ d`, i.e. `k = ⌈d / T⌉`).
+    fn boundary_for(
+        voice: &Option<VoiceSource>,
+        data: &Option<DataSource>,
+        voice_buffer: &VoiceBuffer,
+        active_from_frame: u64,
+        frame_index: u64,
+        frame_us: u64,
+    ) -> u64 {
+        let mut b = voice
+            .as_ref()
+            .map_or(u64::MAX, |s| s.next_event_frame())
+            .min(data.as_ref().map_or(u64::MAX, |s| s.next_event_frame()));
+        if frame_index <= active_from_frame {
+            b = b.min(active_from_frame);
+        }
+        // Every buffered deadline survived the expiry check of the frame just
+        // processed, so its drop frame is at least `frame_index` — when `b` is
+        // already down there the min cannot lower it, and the division (and
+        // the buffer read) is skipped.  A terminal mid-talkspurt generates a
+        // packet next frame, so the hot path never pays for this bound.
+        if b > frame_index {
+            if let Some(d) = voice_buffer.earliest_deadline() {
+                b = b.min(d.as_micros().div_ceil(frame_us));
+            }
+        }
+        b
+    }
+
+    /// Number of terminals in the store.
+    pub fn len(&self) -> usize {
+        self.class.len()
+    }
+
+    /// Whether the store holds no terminals.
+    pub fn is_empty(&self) -> bool {
+        self.class.is_empty()
+    }
+
+    /// The frame clock the population is driven by.
+    pub fn clock(&self) -> FrameClock {
+        self.clock
+    }
+
+    /// How the channels advance along the frame grid.
+    pub fn channel_mode(&self) -> ChannelMode {
+        self.channel_mode
+    }
+
+    /// The raw column view used by the frame engine and the sharded system
+    /// layer.  Column base pointers stay valid for as long as no terminal is
+    /// pushed (the vectors never reallocate otherwise).
+    pub(crate) fn view(&mut self) -> ColumnsView {
+        ColumnsView {
+            len: self.class.len(),
+            clock: self.clock,
+            channel_mode: self.channel_mode,
+            class: self.class.as_mut_ptr(),
+            active_from_frame: self.active_from_frame.as_mut_ptr(),
+            in_talkspurt: self.in_talkspurt.as_mut_ptr(),
+            traffic_boundary: self.traffic_boundary.as_mut_ptr(),
+            voice_source: self.voice_source.as_mut_ptr(),
+            voice_buffer: self.voice_buffer.as_mut_ptr(),
+            data_source: self.data_source.as_mut_ptr(),
+            data_buffer: self.data_buffer.as_mut_ptr(),
+            mean_snr_db: self.mean_snr_db.as_mut_ptr(),
+            short: self.short.as_mut_ptr(),
+            long: self.long.as_mut_ptr(),
+            chan_rng: self.chan_rng.as_mut_ptr(),
+            chan_now: self.chan_now.as_mut_ptr(),
+            snr_cache: self.snr_cache.as_mut_ptr(),
+            contention_rng: self.contention_rng.as_mut_ptr(),
+            phy_rng: self.phy_rng.as_mut_ptr(),
+        }
+    }
+
+    // ----- safe single-owner wrappers over the view operations -----
+    //
+    // Holding `&mut self` is exclusive access to every column, so the raw
+    // view operations are trivially sound here.
+
+    /// Advances terminal `i`'s traffic across the boundary that starts
+    /// `frame_index` and reports what happened (see [`FrameTraffic`]).
+    pub fn begin_frame(&mut self, i: usize, frame_index: u64) -> FrameTraffic {
+        unsafe { self.view().begin_frame(i, frame_index) }
+    }
+
+    /// Runs [`TerminalColumns::begin_frame`] for every terminal in ascending
+    /// index order — the documented draw order — writing each terminal's
+    /// report into `traffic` and returning the population-wide totals (so
+    /// single-cell scenario loops don't need a second accumulation pass).
+    pub fn begin_frame_all(
+        &mut self,
+        frame_index: u64,
+        traffic: &mut [FrameTraffic],
+    ) -> TrafficTotals {
+        assert_eq!(traffic.len(), self.len(), "traffic slice length mismatch");
+        let now = self.clock.frame_start(frame_index);
+        if self.channel_mode == ChannelMode::Eager {
+            // Same draws as the interleaved per-terminal path: the channel
+            // streams are per-terminal, so hoisting the channel sweep out of
+            // the traffic loop is loop fission across independent streams and
+            // changes no draw.
+            let view = self.view();
+            for i in 0..view.len() {
+                unsafe {
+                    view.advance_channel_eager(i, now);
+                    *view.snr_cache.add(i) = None;
+                }
+            }
+        }
+        // Safe zipped-slice sweep (exclusive `&mut self` — no raw view
+        // needed); mirrors `ColumnsView::begin_frame_at` terminal for
+        // terminal, with bounds checks elided by the zips.  Frames strictly
+        // before a terminal's `traffic_boundary` are total no-ops: the source
+        // calls would be no-ops (no state change, no draw), the expiry check
+        // could drop nothing (the boundary covers the earliest buffered
+        // deadline), dormancy has no edge, and `in_talkspurt` cannot change —
+        // so the skip is behaviour-for-behaviour identical to the full path
+        // without touching the terminal's buffers at all.
+        let frame_us = self.clock.frame_duration().as_micros();
+        let mut totals = TrafficTotals::default();
+        // One sequential clear up front turns the common no-event slot writes
+        // into a single memset; the sweep then touches a slot only when the
+        // terminal actually had an event (identical slice contents).
+        traffic.fill(FrameTraffic::default());
+        for (((((slot, vbuf), boundary), srcs), dbuf), (talk, active_from)) in traffic
+            .iter_mut()
+            .zip(self.voice_buffer.iter_mut())
+            .zip(self.traffic_boundary.iter_mut())
+            .zip(
+                self.voice_source
+                    .iter_mut()
+                    .zip(self.data_source.iter_mut()),
+            )
+            .zip(self.data_buffer.iter_mut())
+            .zip(
+                self.in_talkspurt
+                    .iter_mut()
+                    .zip(self.active_from_frame.iter()),
+            )
+        {
+            if frame_index < *boundary {
+                continue;
+            }
+            let (vsrc, dsrc) = srcs;
+            // Deadline enforcement happens before new packets arrive so a
+            // packet generated at this boundary can never be dropped at the
+            // same boundary.
+            let mut out = FrameTraffic {
+                voice_packets_dropped: vbuf.drop_expired(now) as u32,
+                ..FrameTraffic::default()
+            };
+            if let Some(src) = vsrc.as_mut() {
+                let activity = src.on_frame_start(frame_index);
+                *talk = src.is_talking();
+                out.talkspurt_started = activity.talkspurt_started;
+                out.talkspurt_ended = activity.talkspurt_ended;
+                if activity.packet_generated {
+                    let deadline = src.deadline_for(frame_index);
+                    vbuf.push(VoicePacket {
+                        generated_at: now,
+                        deadline,
+                    });
+                    out.voice_packet_generated = true;
+                }
+            }
+            if let Some(src) = dsrc.as_mut() {
+                let arrived = src.on_frame_start(frame_index);
+                if arrived > 0 {
+                    dbuf.push_burst(now, arrived);
+                    out.data_packets_arrived = arrived;
+                }
+            }
+            if frame_index < *active_from {
+                vbuf.clear();
+                dbuf.clear();
+                *talk = false;
+                out = FrameTraffic::default();
+            }
+            *boundary =
+                Self::boundary_for(vsrc, dsrc, vbuf, *active_from, frame_index + 1, frame_us);
+            totals.voice_generated += out.voice_packet_generated as u64;
+            totals.voice_dropped += out.voice_packets_dropped as u64;
+            totals.data_arrived += out.data_packets_arrived as u64;
+            *slot = out;
+        }
+        totals
+    }
+
+    /// Terminal `i`'s true instantaneous SNR at time `t` (advances the
+    /// fading processes as needed; memoised per instant in lazy mode).
+    pub fn true_snr_db(&mut self, i: usize, t: SimTime) -> f64 {
+        unsafe { self.view().true_snr_db(i, t) }
+    }
+
+    /// The terminal's service class.
+    pub fn class(&self, i: usize) -> TerminalClass {
+        self.class[i]
+    }
+
+    /// Whether the terminal is currently in a talkspurt.
+    pub fn in_talkspurt(&self, i: usize) -> bool {
+        self.in_talkspurt[i]
+    }
+
+    /// Whether the terminal participates in the given frame.
+    pub fn is_active_at(&self, i: usize, frame_index: u64) -> bool {
+        frame_index >= self.active_from_frame[i]
+    }
+
+    /// Number of voice packets waiting in the transmit buffer.
+    pub fn voice_backlog(&self, i: usize) -> usize {
+        self.voice_buffer[i].len()
+    }
+
+    /// Number of data packets waiting in the transmit buffer.
+    pub fn data_backlog(&self, i: usize) -> u64 {
+        self.data_buffer[i].len()
+    }
+
+    /// Whether the terminal has anything to send.
+    pub fn has_backlog(&self, i: usize) -> bool {
+        !self.voice_buffer[i].is_empty() || !self.data_buffer[i].is_empty()
+    }
+
+    /// Earliest deadline among buffered voice packets.
+    pub fn earliest_voice_deadline(&self, i: usize) -> Option<SimTime> {
+        self.voice_buffer[i].earliest_deadline()
+    }
+
+    /// Arrival time of the oldest buffered data packet.
+    pub fn oldest_data_arrival(&self, i: usize) -> Option<SimTime> {
+        self.data_buffer[i].head_arrival()
+    }
+
+    /// Mutable access to the voice buffer (transmission engine, tests).
+    pub fn voice_buffer_mut(&mut self, i: usize) -> &mut VoiceBuffer {
+        &mut self.voice_buffer[i]
+    }
+
+    /// Mutable access to the data buffer (transmission engine, tests).
+    pub fn data_buffer_mut(&mut self, i: usize) -> &mut DataBuffer {
+        &mut self.data_buffer[i]
+    }
+
+    /// The contention random stream (permission probability, slot choice).
+    pub fn contention_rng(&mut self, i: usize) -> &mut Xoshiro256StarStar {
+        &mut self.contention_rng[i]
+    }
+
+    /// The packet-error random stream.
+    pub fn phy_rng(&mut self, i: usize) -> &mut Xoshiro256StarStar {
+        &mut self.phy_rng[i]
+    }
+
+    /// Re-points terminal `i`'s mean SNR (dB); the multi-cell system layer
+    /// updates it every frame from path loss + site shadowing.
+    pub fn set_mean_snr_db(&mut self, i: usize, mean_snr_db: f64) {
+        assert!(mean_snr_db.is_finite(), "mean SNR must be finite");
+        self.mean_snr_db[i] = mean_snr_db;
+    }
+
+    /// Drops every buffered voice packet (hard-handoff link interruption or
+    /// refused admission) and returns how many were lost.
+    pub fn drop_buffered_voice(&mut self, i: usize) -> u32 {
+        let n = self.voice_buffer[i].len() as u32;
+        self.voice_buffer[i].clear();
+        n
+    }
+}
+
+/// Raw handle over the columns of a [`TerminalColumns`] store: one base
+/// pointer per column plus the shared clock/channel-mode scalars.
+///
+/// # Soundness contract
+///
+/// A `ColumnsView` is a *claim of partitioned exclusivity*, exactly like the
+/// sharded grid that copies it into worker threads: whoever holds a copy may
+/// only touch element `i` if it has exclusive access to terminal `i` for the
+/// duration of the call.  The system layer guarantees this through the cell
+/// membership partition (every terminal belongs to exactly one cell per
+/// frame; a worker only steps the cells it owns); the single-threaded paths
+/// guarantee it by deriving the view from `&mut TerminalColumns`.  All
+/// element operations bounds-check `i` (a plain `assert!`, kept in release
+/// builds) so an out-of-partition index can corrupt determinism but never
+/// memory-safety via out-of-bounds access.
+///
+/// Pointers stay valid while the originating store is alive and no terminal
+/// is pushed; the store is fully populated before any view is taken.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColumnsView {
+    len: usize,
+    clock: FrameClock,
+    channel_mode: ChannelMode,
+    class: *mut TerminalClass,
+    active_from_frame: *mut u64,
+    in_talkspurt: *mut bool,
+    traffic_boundary: *mut u64,
+    voice_source: *mut Option<VoiceSource>,
+    voice_buffer: *mut VoiceBuffer,
+    data_source: *mut Option<DataSource>,
+    data_buffer: *mut DataBuffer,
+    mean_snr_db: *mut f64,
+    short: *mut ShortTermFading,
+    long: *mut LongTermShadowing,
+    chan_rng: *mut Xoshiro256StarStar,
+    chan_now: *mut SimTime,
+    snr_cache: *mut Option<(SimTime, f64)>,
+    contention_rng: *mut Xoshiro256StarStar,
+    phy_rng: *mut Xoshiro256StarStar,
+}
+
+// SAFETY: sending or sharing the view across threads is sound under the
+// partitioned-exclusivity contract above; every element type is itself Send
+// (asserted below), and the view performs no interior mutation beyond what
+// the caller's partition licenses.
+unsafe impl Send for ColumnsView {}
+unsafe impl Sync for ColumnsView {}
+
+// Compile-time proof that every column element is safe to hand to another
+// thread (backs the unsafe Send/Sync impls above).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TerminalClass>();
+    assert_send::<u64>();
+    assert_send::<bool>();
+    assert_send::<Option<VoiceSource>>();
+    assert_send::<VoiceBuffer>();
+    assert_send::<Option<DataSource>>();
+    assert_send::<DataBuffer>();
+    assert_send::<f64>();
+    assert_send::<ShortTermFading>();
+    assert_send::<LongTermShadowing>();
+    assert_send::<Xoshiro256StarStar>();
+    assert_send::<SimTime>();
+    assert_send::<Option<(SimTime, f64)>>();
+    assert_send::<FrameClock>();
+};
+
+impl ColumnsView {
+    /// Number of terminals behind the view.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn check(&self, i: usize) {
+        assert!(
+            i < self.len,
+            "terminal index {i} out of bounds ({})",
+            self.len
+        );
+    }
+
+    /// Advances terminal `i`'s traffic across the boundary that starts
+    /// `frame_index`, updating the buffers, and reports what happened.
+    /// Deadline-expired voice packets are dropped here (and reported),
+    /// exactly once per frame.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access to terminal `i` (see the type-level
+    /// soundness contract).
+    pub(crate) unsafe fn begin_frame(&self, i: usize, frame_index: u64) -> FrameTraffic {
+        let now = self.clock.frame_start(frame_index);
+        self.begin_frame_at(i, frame_index, now)
+    }
+
+    /// [`Self::begin_frame`] with the frame-start instant precomputed, so the
+    /// all-terminals sweep evaluates the clock once per frame rather than once
+    /// per terminal.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`; `now` must equal
+    /// `self.clock.frame_start(frame_index)`.
+    #[inline]
+    unsafe fn begin_frame_at(&self, i: usize, frame_index: u64, now: SimTime) -> FrameTraffic {
+        self.check(i);
+        // Lazy mode leaves the channel untouched here: it is advanced (with a
+        // coalesced dt) the first time this frame's SNR is sampled, so idle
+        // terminals skip channel work entirely.
+        if self.channel_mode == ChannelMode::Eager {
+            self.advance_channel_eager(i, now);
+            *self.snr_cache.add(i) = None;
+        }
+
+        // Frames strictly before the traffic boundary are total no-ops: the
+        // source calls would be no-ops (no state change, no draw), the expiry
+        // check could drop nothing (the boundary covers the earliest buffered
+        // deadline), dormancy has no edge there, and `in_talkspurt` cannot
+        // change — skipping them is behaviour-for-behaviour identical.
+        if frame_index < *self.traffic_boundary.add(i) {
+            return FrameTraffic::default();
+        }
+
+        let voice_buffer = &mut *self.voice_buffer.add(i);
+        let mut out = FrameTraffic {
+            // Deadline enforcement happens before new packets arrive so a packet
+            // generated at this boundary can never be dropped at the same boundary.
+            voice_packets_dropped: voice_buffer.drop_expired(now) as u32,
+            ..FrameTraffic::default()
+        };
+
+        if let Some(src) = (*self.voice_source.add(i)).as_mut() {
+            let activity = src.on_frame_start(frame_index);
+            *self.in_talkspurt.add(i) = src.is_talking();
+            out.talkspurt_started = activity.talkspurt_started;
+            out.talkspurt_ended = activity.talkspurt_ended;
+            if activity.packet_generated {
+                let deadline = src.deadline_for(frame_index);
+                voice_buffer.push(VoicePacket {
+                    generated_at: now,
+                    deadline,
+                });
+                out.voice_packet_generated = true;
+            }
+        }
+
+        if let Some(src) = (*self.data_source.add(i)).as_mut() {
+            let arrived = src.on_frame_start(frame_index);
+            if arrived > 0 {
+                (*self.data_buffer.add(i)).push_burst(now, arrived);
+                out.data_packets_arrived = arrived;
+            }
+        }
+
+        // A dormant terminal (activated mid-run by a load ramp) advances its
+        // sources exactly like an active one so the per-terminal RNG streams
+        // stay aligned, but its traffic is discarded: nothing is buffered,
+        // nothing is reported, and it never looks like a contender.  From the
+        // activation frame onward it behaves draw-for-draw like an
+        // always-active twin — a terminal woken mid-talkspurt buffers that
+        // talkspurt's remaining packets (and contends for them) immediately.
+        let active_from = *self.active_from_frame.add(i);
+        if frame_index < active_from {
+            voice_buffer.clear();
+            (*self.data_buffer.add(i)).clear();
+            *self.in_talkspurt.add(i) = false;
+            out = FrameTraffic::default();
+        }
+
+        *self.traffic_boundary.add(i) = TerminalColumns::boundary_for(
+            &*self.voice_source.add(i),
+            &*self.data_source.add(i),
+            voice_buffer,
+            active_from,
+            frame_index + 1,
+            self.clock.frame_duration().as_micros(),
+        );
+
+        out
+    }
+
+    /// Advances terminal `i`'s channel to `t` in one coalesced AR(1) step per
+    /// process (short first, then long — the documented draw order), reusing
+    /// memoised step coefficients.  Panics if `t` is in the past.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    unsafe fn advance_channel(&self, i: usize, t: SimTime) {
+        let now = &mut *self.chan_now.add(i);
+        assert!(
+            t >= *now,
+            "channel cannot be advanced backwards (now {}, asked {t})",
+            *now
+        );
+        let dt = t.duration_since(*now);
+        if dt.is_zero() {
+            return;
+        }
+        let rng = &mut *self.chan_rng.add(i);
+        (*self.short.add(i)).step(dt, rng);
+        (*self.long.add(i)).step(dt, rng);
+        *now = t;
+    }
+
+    /// Eager-mode channel advance: same draws, coefficients recomputed every
+    /// call (the pre-optimisation baseline the benchmark measures against).
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    unsafe fn advance_channel_eager(&self, i: usize, t: SimTime) {
+        let now = &mut *self.chan_now.add(i);
+        assert!(
+            t >= *now,
+            "channel cannot be advanced backwards (now {}, asked {t})",
+            *now
+        );
+        let dt = t.duration_since(*now);
+        if dt.is_zero() {
+            return;
+        }
+        let rng = &mut *self.chan_rng.add(i);
+        (*self.short.add(i)).step_uncached(dt, rng);
+        (*self.long.add(i)).step_uncached(dt, rng);
+        *now = t;
+    }
+
+    /// The SNR implied by terminal `i`'s current fading state: the mean SNR
+    /// plus the combined gain in dB, with deep fades clamped at -240 dB so
+    /// downstream arithmetic stays well defined.  (Same operations, in the
+    /// same order, as the pre-SoA `CombinedChannel::snr_db`.)
+    ///
+    /// # Safety
+    /// Shared access to terminal `i` suffices (no mutation).
+    unsafe fn snr_db(&self, i: usize) -> f64 {
+        let g = (*self.long.add(i)).local_mean_linear() * (*self.short.add(i)).envelope();
+        let gain_db = if g <= 1e-12 { -240.0 } else { 20.0 * g.log10() };
+        *self.mean_snr_db.add(i) + gain_db
+    }
+
+    /// Terminal `i`'s true instantaneous SNR at time `t`.
+    ///
+    /// In [`ChannelMode::Lazy`] (the default) the value is memoised per
+    /// instant, so capacity, the error-probability draw and CSI polling all
+    /// share one channel evaluation per terminal per frame, and the channel
+    /// itself is advanced in one coalesced step covering every frame the
+    /// terminal sat idle.  In [`ChannelMode::Eager`] the SNR is recomputed on
+    /// every call, reproducing the pre-optimisation cost.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    pub(crate) unsafe fn true_snr_db(&self, i: usize, t: SimTime) -> f64 {
+        self.check(i);
+        match self.channel_mode {
+            ChannelMode::Lazy => {
+                let cache = &mut *self.snr_cache.add(i);
+                if let Some((at, snr)) = *cache {
+                    if at == t {
+                        return snr;
+                    }
+                }
+                self.advance_channel(i, t);
+                let snr = self.snr_db(i);
+                *cache = Some((t, snr));
+                snr
+            }
+            ChannelMode::Eager => {
+                self.advance_channel(i, t);
+                self.snr_db(i)
+            }
+        }
+    }
+
+    /// The terminal's service class.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i` (the class column is immutable after
+    /// construction).
+    pub(crate) unsafe fn class(&self, i: usize) -> TerminalClass {
+        self.check(i);
+        *self.class.add(i)
+    }
+
+    /// Whether the terminal is currently in a talkspurt.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn in_talkspurt(&self, i: usize) -> bool {
+        self.check(i);
+        *self.in_talkspurt.add(i)
+    }
+
+    /// Number of voice packets waiting in the transmit buffer.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn voice_backlog(&self, i: usize) -> usize {
+        self.check(i);
+        (*self.voice_buffer.add(i)).len()
+    }
+
+    /// Number of data packets waiting in the transmit buffer.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn data_backlog(&self, i: usize) -> u64 {
+        self.check(i);
+        (*self.data_buffer.add(i)).len()
+    }
+
+    /// Whether the terminal has anything to send.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn has_backlog(&self, i: usize) -> bool {
+        self.check(i);
+        !(*self.voice_buffer.add(i)).is_empty() || !(*self.data_buffer.add(i)).is_empty()
+    }
+
+    /// Earliest deadline among buffered voice packets.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn earliest_voice_deadline(&self, i: usize) -> Option<SimTime> {
+        self.check(i);
+        (*self.voice_buffer.add(i)).earliest_deadline()
+    }
+
+    /// Arrival time of the oldest buffered data packet.
+    ///
+    /// # Safety
+    /// Shared access to terminal `i`.
+    pub(crate) unsafe fn oldest_data_arrival(&self, i: usize) -> Option<SimTime> {
+        self.check(i);
+        (*self.data_buffer.add(i)).head_arrival()
+    }
+
+    /// Mutable access to the voice buffer.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn voice_buffer_mut(&self, i: usize) -> &mut VoiceBuffer {
+        self.check(i);
+        &mut *self.voice_buffer.add(i)
+    }
+
+    /// Mutable access to the data buffer.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn data_buffer_mut(&self, i: usize) -> &mut DataBuffer {
+        self.check(i);
+        &mut *self.data_buffer.add(i)
+    }
+
+    /// The contention random stream (permission probability, slot choice).
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn contention_rng(&self, i: usize) -> &mut Xoshiro256StarStar {
+        self.check(i);
+        &mut *self.contention_rng.add(i)
+    }
+
+    /// The packet-error random stream.
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn phy_rng(&self, i: usize) -> &mut Xoshiro256StarStar {
+        self.check(i);
+        &mut *self.phy_rng.add(i)
+    }
+
+    /// Re-points terminal `i`'s mean SNR (dB).
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    pub(crate) unsafe fn set_mean_snr_db(&self, i: usize, mean_snr_db: f64) {
+        self.check(i);
+        assert!(mean_snr_db.is_finite(), "mean SNR must be finite");
+        *self.mean_snr_db.add(i) = mean_snr_db;
+    }
+
+    /// Drops every buffered voice packet of terminal `i` and returns how
+    /// many were lost (hard-handoff link interruption / refused admission).
+    ///
+    /// # Safety
+    /// Exclusive access to terminal `i`.
+    pub(crate) unsafe fn drop_buffered_voice(&self, i: usize) -> u32 {
+        self.check(i);
+        let buffer = &mut *self.voice_buffer.add(i);
+        let n = buffer.len() as u32;
+        buffer.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charisma_des::{RngStreams, SimDuration};
+    use charisma_radio::{ChannelConfig, SpeedProfile};
+    use charisma_traffic::{DataSourceConfig, TerminalId, VoiceSourceConfig};
+
+    fn terminal(i: u32, class: TerminalClass, seed: u64, mode: ChannelMode) -> Terminal {
+        let streams = RngStreams::new(seed);
+        Terminal::new(
+            TerminalId(i),
+            class,
+            FrameClock::paper_default(),
+            VoiceSourceConfig::default(),
+            DataSourceConfig::default(),
+            ChannelConfig::default(),
+            mode,
+            &SpeedProfile::Fixed(50.0),
+            &streams,
+        )
+    }
+
+    fn make_mode(class: TerminalClass, seed: u64, mode: ChannelMode) -> TerminalColumns {
+        let mut cols = TerminalColumns::new(FrameClock::paper_default(), mode);
+        cols.push(terminal(0, class, seed, mode));
+        cols
+    }
+
+    fn make(class: TerminalClass, seed: u64) -> TerminalColumns {
+        make_mode(class, seed, ChannelMode::Lazy)
+    }
+
+    #[test]
+    fn voice_terminal_generates_and_drops_packets() {
+        let mut t = make(TerminalClass::Voice, 1);
+        let mut generated = 0u64;
+        let mut dropped = 0u64;
+        for k in 0..80_000u64 {
+            let tr = t.begin_frame(0, k);
+            generated += tr.voice_packet_generated as u64;
+            dropped += tr.voice_packets_dropped as u64;
+            assert_eq!(
+                tr.data_packets_arrived, 0,
+                "voice terminal must not produce data"
+            );
+        }
+        assert!(
+            generated > 1_000,
+            "expected many voice packets, got {generated}"
+        );
+        // Nothing is ever transmitted in this test, so every packet must
+        // eventually be dropped at its deadline (modulo those still queued).
+        assert!(
+            dropped >= generated - 2,
+            "generated {generated}, dropped {dropped}"
+        );
+        assert!(t.voice_backlog(0) <= 2);
+    }
+
+    #[test]
+    fn data_terminal_accumulates_backlog() {
+        let mut t = make(TerminalClass::Data, 2);
+        let mut arrived = 0u64;
+        for k in 0..40_000u64 {
+            let tr = t.begin_frame(0, k);
+            arrived += tr.data_packets_arrived as u64;
+            assert!(!tr.voice_packet_generated);
+        }
+        assert!(arrived > 1_000, "expected data arrivals, got {arrived}");
+        assert_eq!(
+            t.data_backlog(0),
+            arrived,
+            "nothing was served, backlog must equal arrivals"
+        );
+        assert!(t.has_backlog(0));
+    }
+
+    #[test]
+    fn channel_is_queryable_at_frame_times() {
+        let mut t = make(TerminalClass::Voice, 3);
+        t.begin_frame(0, 0);
+        let s0 = t.true_snr_db(0, SimTime::ZERO);
+        let s1 = t.true_snr_db(0, SimTime::ZERO + SimDuration::from_micros(2_500));
+        assert!(s0.is_finite() && s1.is_finite());
+    }
+
+    #[test]
+    fn talkspurt_flag_tracks_source() {
+        let mut t = make(TerminalClass::Voice, 4);
+        let mut toggles = 0;
+        let mut last = t.in_talkspurt(0);
+        for k in 0..200_000u64 {
+            t.begin_frame(0, k);
+            if t.in_talkspurt(0) != last {
+                toggles += 1;
+                last = t.in_talkspurt(0);
+            }
+        }
+        assert!(
+            toggles > 50,
+            "talkspurt state should toggle many times, saw {toggles}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_terminals() {
+        let mut a = make(TerminalClass::Voice, 9);
+        let mut b = make(TerminalClass::Voice, 9);
+        for k in 0..5_000u64 {
+            assert_eq!(a.begin_frame(0, k), b.begin_frame(0, k));
+        }
+        let t = SimTime::from_micros(5_000 * 2_500);
+        assert_eq!(a.true_snr_db(0, t), b.true_snr_db(0, t));
+    }
+
+    #[test]
+    fn snr_is_cached_within_an_instant_and_refreshed_across_frames() {
+        let mut t = make(TerminalClass::Voice, 11);
+        t.begin_frame(0, 0);
+        let at = SimTime::ZERO;
+        let first = t.true_snr_db(0, at);
+        // Repeated queries at the same instant must return the exact same
+        // value without touching the channel RNG.
+        for _ in 0..5 {
+            assert_eq!(t.true_snr_db(0, at), first);
+        }
+        // A later frame re-samples the channel.
+        t.begin_frame(0, 1);
+        let later = t.true_snr_db(0, SimTime::from_micros(2_500));
+        assert_ne!(later, first, "a new frame must refresh the cached SNR");
+        assert_eq!(t.true_snr_db(0, SimTime::from_micros(2_500)), later);
+    }
+
+    #[test]
+    fn eager_and_lazy_terminals_see_statistically_similar_channels() {
+        // The two modes draw different sample paths (documented one-time
+        // trajectory change) but must agree on the channel statistics.
+        let mean_snr = |mode: ChannelMode| -> f64 {
+            let mut t = make_mode(TerminalClass::Voice, 12, mode);
+            let mut acc = 0.0;
+            let n = 40_000u64;
+            for k in 0..n {
+                t.begin_frame(0, k);
+                // Sample only every 10th frame: in lazy mode the intervening
+                // frames are coalesced into one AR(1) step.
+                if k % 10 == 0 {
+                    acc += t.true_snr_db(0, SimTime::from_micros(k * 2_500));
+                }
+            }
+            acc / (n / 10) as f64
+        };
+        let eager = mean_snr(ChannelMode::Eager);
+        let lazy = mean_snr(ChannelMode::Lazy);
+        assert!(
+            (eager - lazy).abs() < 1.0,
+            "eager mean SNR {eager} dB vs lazy {lazy} dB"
+        );
+    }
+
+    #[test]
+    fn dormant_terminal_reports_nothing_then_wakes_up() {
+        let mut ramped = terminal(0, TerminalClass::Voice, 21, ChannelMode::Lazy);
+        ramped.set_active_from_frame(4_000);
+        let mut t = TerminalColumns::new(FrameClock::paper_default(), ChannelMode::Lazy);
+        t.push(ramped);
+        for k in 0..4_000u64 {
+            assert!(!t.is_active_at(0, k));
+            let tr = t.begin_frame(0, k);
+            assert_eq!(tr, FrameTraffic::default(), "dormant frame {k} had traffic");
+            assert!(!t.in_talkspurt(0));
+            assert!(!t.has_backlog(0));
+        }
+        let mut generated = 0u64;
+        for k in 4_000..80_000u64 {
+            assert!(t.is_active_at(0, k));
+            generated += t.begin_frame(0, k).voice_packet_generated as u64;
+        }
+        assert!(generated > 1_000, "woken terminal generated {generated}");
+    }
+
+    #[test]
+    fn dormant_prefix_does_not_change_the_post_activation_sample_path() {
+        // The whole point of advancing sources while dormant: after the
+        // activation frame the terminal behaves draw-for-draw like an
+        // always-active twin.
+        let mut active = make(TerminalClass::Voice, 22);
+        let mut deferred = terminal(0, TerminalClass::Voice, 22, ChannelMode::Lazy);
+        deferred.set_active_from_frame(2_000);
+        let mut ramped = TerminalColumns::new(FrameClock::paper_default(), ChannelMode::Lazy);
+        ramped.push(deferred);
+        for k in 0..2_000u64 {
+            let _ = active.begin_frame(0, k);
+            let _ = ramped.begin_frame(0, k);
+        }
+        // Drain the always-active twin's backlog so the buffers agree.
+        while active.voice_buffer_mut(0).pop().is_some() {}
+        for k in 2_000..10_000u64 {
+            assert_eq!(
+                active.begin_frame(0, k),
+                ramped.begin_frame(0, k),
+                "frame {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_terminal_ids_get_different_traffic() {
+        let mut cols = TerminalColumns::new(FrameClock::paper_default(), ChannelMode::Lazy);
+        let streams = RngStreams::new(7);
+        for i in 0..2u32 {
+            cols.push(Terminal::new(
+                TerminalId(i),
+                TerminalClass::Voice,
+                FrameClock::paper_default(),
+                VoiceSourceConfig::default(),
+                DataSourceConfig::default(),
+                ChannelConfig::default(),
+                ChannelMode::Lazy,
+                &SpeedProfile::Fixed(50.0),
+                &streams,
+            ));
+        }
+        let mut differing = 0;
+        for k in 0..10_000u64 {
+            if cols.begin_frame(0, k) != cols.begin_frame(1, k) {
+                differing += 1;
+            }
+        }
+        assert!(
+            differing > 100,
+            "two terminals should have distinct traffic, {differing} frames differed"
+        );
+    }
+
+    #[test]
+    fn columnar_begin_frame_all_matches_per_terminal_calls() {
+        let streams = RngStreams::new(33);
+        let mk = |cols: &mut TerminalColumns, i: u32, class: TerminalClass| {
+            cols.push(Terminal::new(
+                TerminalId(i),
+                class,
+                FrameClock::paper_default(),
+                VoiceSourceConfig::default(),
+                DataSourceConfig::default(),
+                ChannelConfig::default(),
+                ChannelMode::Lazy,
+                &SpeedProfile::Fixed(50.0),
+                &streams,
+            ));
+        };
+        let mut a = TerminalColumns::new(FrameClock::paper_default(), ChannelMode::Lazy);
+        let mut b = TerminalColumns::new(FrameClock::paper_default(), ChannelMode::Lazy);
+        for i in 0..6u32 {
+            let class = if i % 2 == 0 {
+                TerminalClass::Voice
+            } else {
+                TerminalClass::Data
+            };
+            mk(&mut a, i, class);
+            mk(&mut b, i, class);
+        }
+        let mut batched = vec![FrameTraffic::default(); 6];
+        for k in 0..3_000u64 {
+            a.begin_frame_all(k, &mut batched);
+            for (i, slot) in batched.iter().enumerate() {
+                assert_eq!(*slot, b.begin_frame(i, k), "frame {k} terminal {i}");
+            }
+        }
+    }
+}

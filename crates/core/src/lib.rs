@@ -13,7 +13,8 @@
 //!   D-TDMA/VR, RAMA, RMAV and DRMA — behind one [`protocols::UplinkMac`]
 //!   trait;
 //! * the common simulation platform: the terminal population
-//!   ([`terminal::Terminal`]), the per-frame execution environment
+//!   ([`terminal::Terminal`] construction records stored columnar-ly in
+//!   [`columns::TerminalColumns`]), the per-frame execution environment
 //!   ([`world::FrameWorld`]) and the scenario runner ([`scenario::Scenario`]);
 //! * the scenario configuration ([`config::SimConfig`]) encoding the paper's
 //!   Table 1 parameters;
@@ -48,6 +49,7 @@
 
 pub mod campaign;
 pub mod cell;
+pub mod columns;
 pub mod config;
 pub mod json;
 pub mod persist;
@@ -61,6 +63,7 @@ pub mod world;
 
 pub use campaign::{Campaign, CampaignRow, CampaignRun};
 pub use cell::Cell;
+pub use columns::{TerminalColumns, TrafficTotals};
 pub use config::{
     CharismaParams, ContentionConfig, FrameStructure, HandoffAdmission, HandoffConfig, Layout,
     LoadRamp, SimConfig, SystemConfig,

@@ -21,10 +21,8 @@
 //! outage are deferred rather than scheduled, which is where the protocol's
 //! selection-diversity gain comes from (Section 5.3.2).
 
-use std::collections::{HashMap, HashSet};
-
 use crate::config::{CharismaParams, SimConfig};
-use crate::protocols::common;
+use crate::protocols::common::{self, IdSet};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
 use charisma_des::SimTime;
@@ -49,39 +47,82 @@ pub struct Charisma {
     params: CharismaParams,
     queue_enabled: bool,
     queue_capacity: usize,
-    reservations: HashSet<TerminalId>,
+    reservations: IdSet,
     /// Gathered requests (this frame's and, with the queue, earlier frames').
     backlog: Vec<Entry>,
     /// Last CSI estimate obtained for each terminal (from request pilots,
-    /// CSI polling, or earlier frames).
-    last_csi: HashMap<TerminalId, CsiEstimate>,
+    /// CSI polling, or earlier frames), indexed by terminal index.
+    last_csi: Vec<Option<CsiEstimate>>,
+    /// Urgency term of eq. (2) for voice, tabulated over the (clamped)
+    /// frames-to-deadline argument: `urgency_weight · beta_voice^k`.
+    voice_urgency: Vec<f64>,
+    /// Urgency term for data over the (clamped) frames-waited argument:
+    /// `urgency_weight · (1 − beta_data^k)`.
+    data_urgency: Vec<f64>,
     /// Reusable per-frame buffers (cleared every frame; no cross-frame
     /// state).  Keeping them on the protocol keeps the frame loop
     /// allocation-free.
-    exclude: HashSet<TerminalId>,
+    exclude: IdSet,
     contenders: Vec<TerminalId>,
     winners: Vec<TerminalId>,
+    due: Vec<TerminalId>,
+    due_scratch: Vec<(SimTime, TerminalId)>,
+    stale: Vec<(usize, f64)>,
     order: Vec<(usize, f64)>,
     served: Vec<bool>,
 }
+
+/// The urgency arguments are clamped to this value before exponentiation
+/// (64 frames = 160 ms, far past any voice deadline or meaningful data wait),
+/// which is what makes the terms tabulable.
+const URGENCY_CLAMP: usize = 64;
 
 impl Charisma {
     /// Builds CHARISMA for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
         config.charisma.validate();
+        let p = &config.charisma;
+        // The tables hold exactly the products the priority formula used to
+        // compute inline (same operations, same order), so tabulation changes
+        // cost, not bits.
+        let voice_urgency = (0..=URGENCY_CLAMP as i32)
+            .map(|k| p.urgency_weight * p.beta_voice.powi(k))
+            .collect();
+        let data_urgency = (0..=URGENCY_CLAMP as i32)
+            .map(|k| p.urgency_weight * (1.0 - p.beta_data.powi(k)))
+            .collect();
         Charisma {
             params: config.charisma,
             queue_enabled: config.request_queue,
             queue_capacity: config.request_queue_capacity,
-            reservations: HashSet::new(),
+            reservations: IdSet::new(),
             backlog: Vec::new(),
-            last_csi: HashMap::new(),
-            exclude: HashSet::new(),
+            last_csi: Vec::new(),
+            voice_urgency,
+            data_urgency,
+            exclude: IdSet::new(),
             contenders: Vec::new(),
             winners: Vec::new(),
+            due: Vec::new(),
+            due_scratch: Vec::new(),
+            stale: Vec::new(),
             order: Vec::new(),
             served: Vec::new(),
         }
+    }
+
+    /// The base station's last CSI estimate for `id`, if any.
+    fn lookup_csi(&self, id: TerminalId) -> Option<CsiEstimate> {
+        self.last_csi.get(id.index() as usize).copied().flatten()
+    }
+
+    /// Records the base station's newest CSI estimate for `id`.
+    fn remember_csi(&mut self, id: TerminalId, est: CsiEstimate) {
+        let i = id.index() as usize;
+        if i >= self.last_csi.len() {
+            self.last_csi.resize(i + 1, None);
+        }
+        self.last_csi[i] = Some(est);
     }
 
     /// Number of terminals currently holding a voice reservation.
@@ -106,22 +147,18 @@ impl Charisma {
         match entry.class {
             TerminalClass::Voice => {
                 let deadline = world
-                    .terminal(entry.terminal)
-                    .earliest_voice_deadline()
+                    .earliest_voice_deadline(entry.terminal)
                     .unwrap_or(SimTime::FAR_FUTURE);
                 let frames_left = deadline
                     .saturating_duration_since(world.now)
                     .div_duration(world.clock.frame_duration())
-                    .min(64) as i32;
-                p.alpha_voice * f_csi
-                    + p.urgency_weight * p.beta_voice.powi(frames_left)
-                    + p.voice_offset
+                    .min(URGENCY_CLAMP as u64) as usize;
+                p.alpha_voice * f_csi + self.voice_urgency[frames_left] + p.voice_offset
             }
             TerminalClass::Data => {
-                let waited = (world.frame.saturating_sub(entry.acked_frame)).min(64) as i32;
-                p.alpha_data * f_csi
-                    + p.urgency_weight * (1.0 - p.beta_data.powi(waited))
-                    + p.gamma_data
+                let waited = (world.frame.saturating_sub(entry.acked_frame))
+                    .min(URGENCY_CLAMP as u64) as usize;
+                p.alpha_data * f_csi + self.data_urgency[waited] + p.gamma_data
             }
         }
     }
@@ -133,20 +170,29 @@ impl Charisma {
             return;
         }
         let validity = world.csi_validity();
-        let mut stale: Vec<(usize, f64)> = self
-            .backlog
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.csi.is_fresh(world.now, validity))
-            .map(|(i, e)| (i, self.priority(world, e)))
-            .collect();
-        stale.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        for (idx, _) in stale.into_iter().take(polls as usize) {
+        let mut stale = std::mem::take(&mut self.stale);
+        stale.clear();
+        stale.extend(
+            self.backlog
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.csi.is_fresh(world.now, validity))
+                .map(|(i, e)| (i, self.priority(world, e))),
+        );
+        // Descending priority; the ascending-index tiebreaker makes the
+        // unstable sort reproduce the stable order (indices are unique).
+        stale.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        for &(idx, _) in stale.iter().take(polls as usize) {
             let id = self.backlog[idx].terminal;
             let est = world.estimate_csi(id);
             self.backlog[idx].csi = est;
-            self.last_csi.insert(id, est);
+            self.remember_csi(id, est);
         }
+        self.stale = stale;
     }
 }
 
@@ -160,9 +206,11 @@ impl UplinkMac for Charisma {
     }
 
     fn forget_terminal(&mut self, id: TerminalId) {
-        self.reservations.remove(&id);
+        self.reservations.remove(id);
         self.backlog.retain(|e| e.terminal != id);
-        self.last_csi.remove(&id);
+        if let Some(slot) = self.last_csi.get_mut(id.index() as usize) {
+            *slot = None;
+        }
     }
 
     fn run_frame(&mut self, world: &mut FrameWorld<'_>) {
@@ -176,15 +224,28 @@ impl UplinkMac for Charisma {
 
         // Drop gathered requests that no longer correspond to queued traffic
         // (voice packet dropped at its deadline, data buffer drained).
-        self.backlog
-            .retain(|e| world.terminal(e.terminal).has_backlog());
+        self.backlog.retain(|e| world.has_backlog(e.terminal));
 
         // --- Request gathering -------------------------------------------
+        // `exclude` doubles as the membership index of `backlog`: seeded from
+        // the surviving entries here, extended as the due loop pushes, so the
+        // dedup check is a bitset probe instead of a backlog scan — and by
+        // step 2 it holds exactly backlog ∪ due, the set contention excludes.
+        self.exclude.clear();
+        self.exclude.extend(self.backlog.iter().map(|e| e.terminal));
+
         // 1. Base-station-generated requests for reserved voice terminals
         //    whose next packet is due (the 20 ms reservation renewal).
-        for id in common::reserved_voice_due(world, &self.reservations) {
-            if !self.backlog.iter().any(|e| e.terminal == id) {
-                let csi = self.last_csi.get(&id).copied().unwrap_or(CsiEstimate {
+        common::reserved_voice_due_into(
+            world,
+            &self.reservations,
+            &mut self.due_scratch,
+            &mut self.due,
+        );
+        for i in 0..self.due.len() {
+            let id = self.due[i];
+            if self.exclude.insert(id) {
+                let csi = self.lookup_csi(id).unwrap_or(CsiEstimate {
                     snr_db: 0.0,
                     estimated_at: SimTime::ZERO,
                 });
@@ -198,8 +259,6 @@ impl UplinkMac for Charisma {
         }
 
         // 2. Contention for new requests (new talkspurts and data bursts).
-        self.exclude.clear();
-        self.exclude.extend(self.backlog.iter().map(|e| e.terminal));
         common::contenders_into(
             world,
             &self.reservations,
@@ -212,10 +271,10 @@ impl UplinkMac for Charisma {
             // The request packet carries pilot symbols: the base station
             // estimates this terminal's CSI as part of receiving the request.
             let est = world.estimate_csi(id);
-            self.last_csi.insert(id, est);
+            self.remember_csi(id, est);
             self.backlog.push(Entry {
                 terminal: id,
-                class: world.terminal(id).class(),
+                class: world.class(id),
                 csi: est,
                 acked_frame: world.frame,
             });
@@ -242,7 +301,12 @@ impl UplinkMac for Charisma {
                 .enumerate()
                 .map(|(i, e)| (i, self.priority(world, e))),
         );
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Same descending order + unique-index tiebreaker as `refresh_csi`.
+        order.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         let mut served = std::mem::take(&mut self.served);
         served.clear();
         served.resize(self.backlog.len(), false);
@@ -261,7 +325,7 @@ impl UplinkMac for Charisma {
             }
             match entry.class {
                 TerminalClass::Voice => {
-                    if world.terminal(entry.terminal).voice_backlog() == 0 {
+                    if world.voice_backlog(entry.terminal) == 0 {
                         served[idx] = true;
                         continue;
                     }
@@ -296,8 +360,7 @@ impl UplinkMac for Charisma {
                 }
                 TerminalClass::Data => {
                     let backlog_pkts = world
-                        .terminal(entry.terminal)
-                        .data_backlog()
+                        .data_backlog(entry.terminal)
                         .min(self.params.max_data_packets_per_grant as u64)
                         as u32;
                     if backlog_pkts == 0 {

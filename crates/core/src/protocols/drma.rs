@@ -13,34 +13,41 @@
 //! the protocol cannot thrash — which is also why an explicit base-station
 //! request queue adds little (Section 5.1 of the paper).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::SimConfig;
-use crate::protocols::common::{self, RequestQueue};
+use crate::protocols::common::{self, IdSet, RequestQueue};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
+use charisma_des::SimTime;
 use charisma_traffic::{TerminalClass, TerminalId};
 
 /// The DRMA protocol.
 #[derive(Debug, Clone)]
 pub struct Drma {
-    reservations: HashSet<TerminalId>,
+    reservations: IdSet,
     queue: RequestQueue,
     /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
-    exclude: HashSet<TerminalId>,
+    exclude: IdSet,
     pool: Vec<TerminalId>,
     winners: Vec<TerminalId>,
+    pending: VecDeque<TerminalId>,
+    due: Vec<TerminalId>,
+    due_scratch: Vec<(SimTime, TerminalId)>,
 }
 
 impl Drma {
     /// Builds DRMA for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
         Drma {
-            reservations: HashSet::new(),
+            reservations: IdSet::new(),
             queue: RequestQueue::from_config(config),
-            exclude: HashSet::new(),
+            exclude: IdSet::new(),
             pool: Vec::new(),
             winners: Vec::new(),
+            pending: VecDeque::new(),
+            due: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -60,7 +67,7 @@ impl UplinkMac for Drma {
     }
 
     fn forget_terminal(&mut self, id: TerminalId) {
-        self.reservations.remove(&id);
+        self.reservations.remove(id);
         self.queue.remove(id);
     }
 
@@ -75,10 +82,16 @@ impl UplinkMac for Drma {
         self.queue.purge_idle(world);
 
         // Pending service: reserved voice packets due, then queued requests.
-        let mut pending: VecDeque<TerminalId> =
-            common::reserved_voice_due(world, &self.reservations).into();
-        let queued: Vec<TerminalId> = self.queue.iter().collect();
-        pending.extend(queued.iter().copied());
+        common::reserved_voice_due_into(
+            world,
+            &self.reservations,
+            &mut self.due_scratch,
+            &mut self.due,
+        );
+        self.pending.clear();
+        self.pending.extend(self.due.iter().copied());
+        let queued_len = self.queue.len();
+        self.pending.extend(self.queue.iter());
         self.queue.clear();
 
         if world.measuring {
@@ -86,22 +99,22 @@ impl UplinkMac for Drma {
                 .metrics_mut()
                 .contention
                 .queue_length
-                .push(queued.len() as f64);
+                .push(queued_len as f64);
         }
 
-        // Terminals that may contend when an unassigned slot is converted.
+        // Terminals that may contend when an unassigned slot is converted
+        // (everything already pending — due renewals and drained queue
+        // entries — is represented at the base station).
         self.exclude.clear();
-        self.exclude.extend(queued.iter().copied());
-        self.exclude.extend(pending.iter().copied());
+        self.exclude.extend(self.pending.iter().copied());
         common::contenders_into(world, &self.reservations, &self.exclude, &mut self.pool);
-        let mut pool = std::mem::take(&mut self.pool);
 
         // Walk the N_k information slots of the frame.
         for _slot in 0..fs.drma_info_slots {
-            if let Some(id) = pending.pop_front() {
-                match world.terminal(id).class() {
+            if let Some(id) = self.pending.pop_front() {
+                match world.class(id) {
                     TerminalClass::Voice => {
-                        if world.terminal(id).voice_backlog() == 0 {
+                        if world.voice_backlog(id) == 0 {
                             // Nothing due after all: the slot falls through to
                             // contention below on the next iteration; to keep
                             // the walk simple we simply leave it unassigned.
@@ -129,23 +142,22 @@ impl UplinkMac for Drma {
                 }
             } else {
                 // Unassigned slot → N_x request minislots.
-                if pool.is_empty() {
+                if self.pool.is_empty() {
                     continue;
                 }
-                world.contend_into(fs.drma_minislots, &pool, &mut self.winners);
+                world.contend_into(fs.drma_minislots, &self.pool, &mut self.winners);
                 if !self.winners.is_empty() {
                     let winners = &self.winners;
-                    pool.retain(|id| !winners.contains(id));
-                    pending.extend(winners.iter().copied());
+                    self.pool.retain(|id| !winners.contains(id));
+                    self.pending.extend(winners.iter().copied());
                 }
             }
         }
-        self.pool = pool;
 
         // Winners acknowledged late in the frame that found no free slot are
         // queued (if the queue is enabled) or forgotten.
-        for id in pending {
-            if !self.reservations.contains(&id) && world.terminal(id).has_backlog() {
+        for &id in &self.pending {
+            if !self.reservations.contains(id) && world.has_backlog(id) {
                 let _ = self.queue.push(id);
             }
         }

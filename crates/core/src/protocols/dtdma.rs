@@ -15,49 +15,55 @@
 //!   exactly as FR does.  The extra throughput (and the occasional slot
 //!   wasted on a terminal in a deep fade) emerge purely from the PHY.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::SimConfig;
-use crate::protocols::common::{self, RequestQueue};
+use crate::protocols::common::{self, IdSet, RequestQueue};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
+use charisma_des::SimTime;
 use charisma_traffic::{TerminalClass, TerminalId};
 
 /// The D-TDMA protocol family (FR and VR variants).
 #[derive(Debug, Clone)]
 pub struct DTdma {
     adaptive: bool,
-    reservations: HashSet<TerminalId>,
+    reservations: IdSet,
     queue: RequestQueue,
     /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
-    exclude: HashSet<TerminalId>,
+    exclude: IdSet,
     contenders: Vec<TerminalId>,
     winners: Vec<TerminalId>,
+    service: VecDeque<TerminalId>,
+    unserved: Vec<TerminalId>,
+    due: Vec<TerminalId>,
+    due_scratch: Vec<(SimTime, TerminalId)>,
 }
 
 impl DTdma {
-    /// Builds D-TDMA/FR (fixed-throughput PHY).
-    pub fn fixed_rate(config: &SimConfig) -> Self {
+    fn build(config: &SimConfig, adaptive: bool) -> Self {
         DTdma {
-            adaptive: false,
-            reservations: HashSet::new(),
+            adaptive,
+            reservations: IdSet::new(),
             queue: RequestQueue::from_config(config),
-            exclude: HashSet::new(),
+            exclude: IdSet::new(),
             contenders: Vec::new(),
             winners: Vec::new(),
+            service: VecDeque::new(),
+            unserved: Vec::new(),
+            due: Vec::new(),
+            due_scratch: Vec::new(),
         }
+    }
+
+    /// Builds D-TDMA/FR (fixed-throughput PHY).
+    pub fn fixed_rate(config: &SimConfig) -> Self {
+        DTdma::build(config, false)
     }
 
     /// Builds D-TDMA/VR (variable-throughput PHY, MAC-blind).
     pub fn variable_rate(config: &SimConfig) -> Self {
-        DTdma {
-            adaptive: true,
-            reservations: HashSet::new(),
-            queue: RequestQueue::from_config(config),
-            exclude: HashSet::new(),
-            contenders: Vec::new(),
-            winners: Vec::new(),
-        }
+        DTdma::build(config, true)
     }
 
     /// Number of terminals currently holding a voice reservation.
@@ -82,9 +88,9 @@ impl DTdma {
             return (0.0, false);
         }
         let link = self.link();
-        match world.terminal(id).class() {
+        match world.class(id) {
             TerminalClass::Voice => {
-                if world.terminal(id).voice_backlog() == 0 {
+                if world.voice_backlog(id) == 0 {
                     return (0.0, true);
                 }
                 let capacity = world.capacity(id, link);
@@ -114,7 +120,7 @@ impl DTdma {
                 }
             }
             TerminalClass::Data => {
-                let backlog = world.terminal(id).data_backlog();
+                let backlog = world.data_backlog(id);
                 if backlog == 0 {
                     return (0.0, true);
                 }
@@ -153,7 +159,7 @@ impl UplinkMac for DTdma {
     }
 
     fn forget_terminal(&mut self, id: TerminalId) {
-        self.reservations.remove(&id);
+        self.reservations.remove(id);
         self.queue.remove(id);
     }
 
@@ -169,14 +175,20 @@ impl UplinkMac for DTdma {
 
         // Service list: reserved voice packets due, then queued requests,
         // then this frame's contention winners — all first-come-first-served.
-        let mut service: VecDeque<TerminalId> =
-            common::reserved_voice_due(world, &self.reservations).into();
-        let queued: Vec<TerminalId> = self.queue.iter().collect();
-        service.extend(queued.iter().copied());
+        common::reserved_voice_due_into(
+            world,
+            &self.reservations,
+            &mut self.due_scratch,
+            &mut self.due,
+        );
+        self.service.clear();
+        self.service.extend(self.due.iter().copied());
+        let queued_len = self.queue.len();
+        self.service.extend(self.queue.iter());
+        self.exclude.clear();
+        self.exclude.extend(self.queue.iter());
         self.queue.clear();
 
-        self.exclude.clear();
-        self.exclude.extend(queued.iter().copied());
         common::contenders_into(
             world,
             &self.reservations,
@@ -184,10 +196,10 @@ impl UplinkMac for DTdma {
             &mut self.contenders,
         );
         world.contend_into(fs.request_slots, &self.contenders, &mut self.winners);
-        service.extend(self.winners.iter().copied());
+        self.service.extend(self.winners.iter().copied());
 
         if world.measuring {
-            let qlen = self.queue.len() + queued.len();
+            let qlen = self.queue.len() + queued_len;
             world
                 .metrics_mut()
                 .contention
@@ -196,24 +208,24 @@ impl UplinkMac for DTdma {
         }
 
         let mut remaining = fs.info_slots as f64;
-        let mut unserved: Vec<TerminalId> = Vec::new();
-        while let Some(id) = service.pop_front() {
+        self.unserved.clear();
+        while let Some(id) = self.service.pop_front() {
             if remaining <= 1e-9 {
-                unserved.push(id);
+                self.unserved.push(id);
                 continue;
             }
             let (used, served) = self.serve(world, id, remaining);
             remaining -= used;
             if !served {
-                unserved.push(id);
+                self.unserved.push(id);
             }
         }
 
         // Acknowledged-but-unserved requests go to the request queue when it
         // is enabled; otherwise they are forgotten and the terminals contend
         // again.  Reserved voice terminals never need to re-request.
-        for id in unserved {
-            if !self.reservations.contains(&id) && world.terminal(id).has_backlog() {
+        for &id in &self.unserved {
+            if !self.reservations.contains(id) && world.has_backlog(id) {
                 let _ = self.queue.push(id);
             }
         }

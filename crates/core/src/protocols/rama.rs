@@ -14,33 +14,47 @@
 //! orthogonal-frequency signalling of the original paper is hardware detail
 //! that does not affect protocol-level behaviour.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::SimConfig;
-use crate::protocols::common::{self, RequestQueue};
+use crate::protocols::common::{self, IdSet, RequestQueue};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
-use charisma_des::Sampler;
+use charisma_des::{Sampler, SimTime};
 use charisma_traffic::{TerminalClass, TerminalId};
 
 /// The RAMA protocol.
 #[derive(Debug, Clone)]
 pub struct Rama {
-    reservations: HashSet<TerminalId>,
+    reservations: IdSet,
     queue: RequestQueue,
     /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
-    exclude: HashSet<TerminalId>,
+    exclude: IdSet,
     contenders: Vec<TerminalId>,
+    auction_voice: Vec<TerminalId>,
+    auction_data: Vec<TerminalId>,
+    winners: Vec<TerminalId>,
+    service: VecDeque<TerminalId>,
+    unserved: Vec<TerminalId>,
+    due: Vec<TerminalId>,
+    due_scratch: Vec<(SimTime, TerminalId)>,
 }
 
 impl Rama {
     /// Builds RAMA for a scenario configuration.
     pub fn new(config: &SimConfig) -> Self {
         Rama {
-            reservations: HashSet::new(),
+            reservations: IdSet::new(),
             queue: RequestQueue::from_config(config),
-            exclude: HashSet::new(),
+            exclude: IdSet::new(),
             contenders: Vec::new(),
+            auction_voice: Vec::new(),
+            auction_data: Vec::new(),
+            winners: Vec::new(),
+            service: VecDeque::new(),
+            unserved: Vec::new(),
+            due: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -49,51 +63,44 @@ impl Rama {
         self.reservations.len()
     }
 
-    /// Runs the auction subframe: selects up to `n_slots` distinct winners
-    /// from `contenders`, voice terminals strictly before data terminals and
-    /// randomly ordered within each class (each terminal redraws its ID every
-    /// auction slot, so the per-slot winner is uniform among the highest
-    /// class present).
-    fn auction(
-        world: &mut FrameWorld<'_>,
-        contenders: &[TerminalId],
-        n_slots: u32,
-    ) -> Vec<TerminalId> {
-        let mut voice: Vec<TerminalId> = Vec::new();
-        let mut data: Vec<TerminalId> = Vec::new();
-        for &id in contenders {
-            match world.terminal(id).class() {
-                TerminalClass::Voice => voice.push(id),
-                TerminalClass::Data => data.push(id),
+    /// Runs the auction subframe: fills `self.winners` with up to `n_slots`
+    /// distinct winners from `self.contenders`, voice terminals strictly
+    /// before data terminals and randomly ordered within each class (each
+    /// terminal redraws its ID every auction slot, so the per-slot winner is
+    /// uniform among the highest class present).
+    fn auction(&mut self, world: &mut FrameWorld<'_>, n_slots: u32) {
+        self.auction_voice.clear();
+        self.auction_data.clear();
+        for &id in &self.contenders {
+            match world.class(id) {
+                TerminalClass::Voice => self.auction_voice.push(id),
+                TerminalClass::Data => self.auction_data.push(id),
             }
         }
         // Fisher–Yates shuffle with the base-station stream: the auction IDs
         // are drawn fresh every slot, so winner order within a class is
         // uniformly random.
-        let shuffle = |v: &mut Vec<TerminalId>, world: &mut FrameWorld<'_>| {
+        for v in [&mut self.auction_voice, &mut self.auction_data] {
             for i in (1..v.len()).rev() {
                 let j = Sampler::uniform_index(world.bs_rng(), i + 1);
                 v.swap(i, j);
             }
-        };
-        shuffle(&mut voice, world);
-        shuffle(&mut data, world);
-
-        let mut winners = Vec::new();
-        let mut ordered = voice.into_iter().chain(data);
-        for _ in 0..n_slots {
-            match ordered.next() {
-                Some(id) => winners.push(id),
-                None => break,
-            }
         }
+
+        self.winners.clear();
+        self.winners.extend(
+            self.auction_voice
+                .iter()
+                .chain(self.auction_data.iter())
+                .copied()
+                .take(n_slots as usize),
+        );
         if world.measuring {
             // Every contender bids in every auction slot until it wins or the
             // subframe ends; there are no collisions by construction.
-            world.metrics_mut().contention.attempts += contenders.len() as u64;
-            world.metrics_mut().contention.successes += winners.len() as u64;
+            world.metrics_mut().contention.attempts += self.contenders.len() as u64;
+            world.metrics_mut().contention.successes += self.winners.len() as u64;
         }
-        winners
     }
 }
 
@@ -107,7 +114,7 @@ impl UplinkMac for Rama {
     }
 
     fn forget_terminal(&mut self, id: TerminalId) {
-        self.reservations.remove(&id);
+        self.reservations.remove(id);
         self.queue.remove(id);
     }
 
@@ -121,41 +128,47 @@ impl UplinkMac for Rama {
         common::release_ended_reservations(world, &mut self.reservations);
         self.queue.purge_idle(world);
 
-        let mut service: VecDeque<TerminalId> =
-            common::reserved_voice_due(world, &self.reservations).into();
-        let queued: Vec<TerminalId> = self.queue.iter().collect();
-        service.extend(queued.iter().copied());
+        common::reserved_voice_due_into(
+            world,
+            &self.reservations,
+            &mut self.due_scratch,
+            &mut self.due,
+        );
+        self.service.clear();
+        self.service.extend(self.due.iter().copied());
+        let queued_len = self.queue.len();
+        self.service.extend(self.queue.iter());
+        self.exclude.clear();
+        self.exclude.extend(self.queue.iter());
         self.queue.clear();
 
-        self.exclude.clear();
-        self.exclude.extend(queued.iter().copied());
         common::contenders_into(
             world,
             &self.reservations,
             &self.exclude,
             &mut self.contenders,
         );
-        let winners = Self::auction(world, &self.contenders, fs.rama_auction_slots);
-        service.extend(winners);
+        self.auction(world, fs.rama_auction_slots);
+        self.service.extend(self.winners.iter().copied());
 
         if world.measuring {
             world
                 .metrics_mut()
                 .contention
                 .queue_length
-                .push(queued.len() as f64);
+                .push(queued_len as f64);
         }
 
         let mut remaining = fs.info_slots as f64;
-        let mut unserved: Vec<TerminalId> = Vec::new();
-        while let Some(id) = service.pop_front() {
+        self.unserved.clear();
+        while let Some(id) = self.service.pop_front() {
             if remaining < 1.0 {
-                unserved.push(id);
+                self.unserved.push(id);
                 continue;
             }
-            match world.terminal(id).class() {
+            match world.class(id) {
                 TerminalClass::Voice => {
-                    if world.terminal(id).voice_backlog() == 0 {
+                    if world.voice_backlog(id) == 0 {
                         continue;
                     }
                     match world.transmit_voice(id, 1.0, LinkAdaptation::Fixed) {
@@ -172,7 +185,7 @@ impl UplinkMac for Rama {
                     }
                 }
                 TerminalClass::Data => {
-                    let backlog = world.terminal(id).data_backlog();
+                    let backlog = world.data_backlog(id);
                     if backlog == 0 {
                         continue;
                     }
@@ -186,8 +199,8 @@ impl UplinkMac for Rama {
             }
         }
 
-        for id in unserved {
-            if !self.reservations.contains(&id) && world.terminal(id).has_backlog() {
+        for &id in &self.unserved {
+            if !self.reservations.contains(id) && world.has_backlog(id) {
                 let _ = self.queue.push(id);
             }
         }

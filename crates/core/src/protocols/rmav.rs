@@ -46,10 +46,10 @@
 //! beyond that; `tests::voice_loss_is_structural_not_a_grant_leak`
 //! regression-pins both the thrashing and the grant-release behaviour.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::SimConfig;
-use crate::protocols::common;
+use crate::protocols::common::{self, IdSet};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::world::{FrameWorld, LinkAdaptation, VoiceTx};
 use charisma_traffic::{TerminalClass, TerminalId};
@@ -67,7 +67,7 @@ pub struct Rmav {
     grants: VecDeque<Grant>,
     max_data_slots: u32,
     /// Reusable per-frame buffers (cleared every frame; no cross-frame state).
-    exclude: HashSet<TerminalId>,
+    exclude: IdSet,
     contenders: Vec<TerminalId>,
     winners: Vec<TerminalId>,
 }
@@ -78,7 +78,7 @@ impl Rmav {
         Rmav {
             grants: VecDeque::new(),
             max_data_slots: config.frame.rmav_max_data_slots,
-            exclude: HashSet::new(),
+            exclude: IdSet::new(),
             contenders: Vec::new(),
             winners: Vec::new(),
         }
@@ -113,20 +113,19 @@ impl UplinkMac for Rmav {
 
         // Drop grants whose terminal no longer has anything to send (the
         // voice packet expired, or the data burst drained).
-        self.grants
-            .retain(|g| world.terminal(g.terminal).has_backlog());
+        self.grants.retain(|g| world.has_backlog(g.terminal));
 
         // --- The single competitive request slot -------------------------
         self.exclude.clear();
         self.exclude.extend(self.grants.iter().map(|g| g.terminal));
-        let no_reservations = HashSet::new();
+        let no_reservations = IdSet::new();
         common::contenders_into(world, &no_reservations, &self.exclude, &mut self.contenders);
         world.contend_into(1, &self.contenders, &mut self.winners);
         if let Some(&winner) = self.winners.first() {
-            let slots = match world.terminal(winner).class() {
+            let slots = match world.class(winner) {
                 TerminalClass::Voice => 1,
                 TerminalClass::Data => {
-                    let backlog = world.terminal(winner).data_backlog();
+                    let backlog = world.data_backlog(winner);
                     self.max_data_slots
                         .min(backlog.min(u32::MAX as u64) as u32)
                         .max(1)
@@ -153,9 +152,9 @@ impl UplinkMac for Rmav {
                 break;
             };
             let id = grant.terminal;
-            match world.terminal(id).class() {
+            match world.class(id) {
                 TerminalClass::Voice => {
-                    if world.terminal(id).voice_backlog() == 0 {
+                    if world.voice_backlog(id) == 0 {
                         continue;
                     }
                     match world.transmit_voice(id, 1.0, LinkAdaptation::Fixed) {
@@ -168,7 +167,7 @@ impl UplinkMac for Rmav {
                     }
                 }
                 TerminalClass::Data => {
-                    let backlog = world.terminal(id).data_backlog();
+                    let backlog = world.data_backlog(id);
                     if backlog == 0 {
                         continue;
                     }
@@ -180,7 +179,7 @@ impl UplinkMac for Rmav {
                     }
                     remaining -= use_slots;
                     grant.slots_left -= use_slots;
-                    if grant.slots_left > 0 && world.terminal(id).has_backlog() {
+                    if grant.slots_left > 0 && world.has_backlog(id) {
                         // The grant spills into the next frame (variable-length
                         // frame behaviour folded onto the fixed grid).
                         self.grants.push_front(grant);

@@ -2,6 +2,7 @@
 //! frame-synchronous simulation loop and produces a [`RunReport`].
 
 use crate::cell::Cell;
+use crate::columns::TerminalColumns;
 use crate::config::SimConfig;
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::system::SystemWorld;
@@ -161,8 +162,19 @@ impl Scenario {
             config.system.is_none(),
             "run_with drives the single-cell loop; multi-cell configs go through Scenario::run"
         );
+        // The DOMAIN_PROTOCOL entity space is split between terminals
+        // (upper half, mirrored indices) and cells (counting down from
+        // u32::MAX): the two sub-ranges stay disjoint as long as the
+        // population plus the cell count fits below 2^31 (see the
+        // stream-derivation table in ARCHITECTURE.md).  The strict bound
+        // leaves room for this loop's single implicit cell.
+        debug_assert!(
+            config.num_voice as u64 + (config.num_data as u64) < 0x8000_0000,
+            "terminal population + cell count must stay below 2^31 to keep \
+             DOMAIN_PROTOCOL speed streams and cell streams disjoint"
+        );
         let streams = RngStreams::new(config.seed);
-        let mut terminals = self.build_terminals(&streams);
+        let terminals = self.build_terminals(&streams);
         // The implicit single cell: every terminal attached, cell index 0
         // (which derives the historical estimator / base-station streams).
         let mut cell = Cell::new(
@@ -171,8 +183,15 @@ impl Scenario {
             0,
             terminals.iter().map(|t| t.id()).collect(),
         );
+        // Decompose the construction records into the structure-of-arrays
+        // store the frame loop sweeps over.
+        let mut columns =
+            TerminalColumns::with_capacity(config.clock(), config.channel_mode, terminals.len());
+        for terminal in terminals {
+            columns.push(terminal);
+        }
 
-        let mut traffic: Vec<FrameTraffic> = vec![FrameTraffic::default(); terminals.len()];
+        let mut traffic: Vec<FrameTraffic> = vec![FrameTraffic::default(); columns.len()];
         let total = config.total_frames();
         // Deadline drops are attributed to the frame in which the deadline
         // expires, one voice-packet period after generation; start counting
@@ -185,23 +204,20 @@ impl Scenario {
             let measuring = frame >= config.warmup_frames;
             let measuring_drops = frame >= config.warmup_frames + drop_grace;
 
-            // Traffic and channel advance, deadline drops are detected here.
-            for (i, t) in terminals.iter_mut().enumerate() {
-                let tr = t.begin_frame(frame);
-                traffic[i] = tr;
-                if measuring {
-                    let metrics = cell.metrics_mut();
-                    if tr.voice_packet_generated {
-                        metrics.voice.generated += 1;
-                    }
-                    if measuring_drops {
-                        metrics.voice.dropped_deadline += tr.voice_packets_dropped as u64;
-                    }
-                    metrics.data.arrived += tr.data_packets_arrived as u64;
+            // Traffic and channel advance, deadline drops are detected here —
+            // one batched columnar sweep that also accumulates the
+            // population-wide totals the run metrics need.
+            let totals = columns.begin_frame_all(frame, &mut traffic);
+            if measuring {
+                let metrics = cell.metrics_mut();
+                metrics.voice.generated += totals.voice_generated;
+                if measuring_drops {
+                    metrics.voice.dropped_deadline += totals.voice_dropped;
                 }
+                metrics.data.arrived += totals.data_arrived;
             }
 
-            cell.step(frame, config, measuring, &traffic, &mut terminals, mac);
+            cell.step(frame, config, measuring, &traffic, &mut columns, mac);
         }
 
         RunReport {

@@ -48,6 +48,7 @@
 //! the equivalence is pinned by a test below.
 
 use crate::cell::Cell;
+use crate::columns::{ColumnsView, TerminalColumns};
 use crate::config::{HandoffAdmission, Layout, SimConfig, SystemConfig};
 use crate::protocols::{ProtocolKind, UplinkMac};
 use crate::scenario::RunReport;
@@ -195,7 +196,7 @@ pub struct SystemWorld {
     config: SimConfig,
     system: SystemConfig,
     protocol: ProtocolKind,
-    terminals: Vec<Terminal>,
+    terminals: TerminalColumns,
     traffic: Vec<FrameTraffic>,
     macs: Vec<Box<dyn UplinkMac>>,
     cells: Vec<Cell>,
@@ -236,8 +237,21 @@ impl SystemWorld {
         let centers = cell_centers(&system.layout, system.cells);
         let bounds = layout_bounds(&centers, system.layout.cell_radius_m());
 
-        let mut terminals = Vec::with_capacity((system.cells * per_cell) as usize);
-        let mut roam = Vec::with_capacity(terminals.capacity());
+        // The DOMAIN_PROTOCOL entity space is split between terminals (upper
+        // half, mirrored indices) and cells (counting down from u32::MAX);
+        // the sub-ranges stay disjoint while population + cells < 2^31 (see
+        // the stream-derivation table in ARCHITECTURE.md).
+        debug_assert!(
+            system.cells as u64 * per_cell as u64 + system.cells as u64 <= 0x8000_0000,
+            "terminal population + cell count must stay below 2^31 to keep \
+             DOMAIN_PROTOCOL speed streams and cell streams disjoint"
+        );
+        let mut terminals = TerminalColumns::with_capacity(
+            clock,
+            config.channel_mode,
+            (system.cells * per_cell) as usize,
+        );
+        let mut roam = Vec::with_capacity((system.cells * per_cell) as usize);
         let mut cells = Vec::with_capacity(system.cells as usize);
         let mut macs = Vec::with_capacity(system.cells as usize);
         for c in 0..system.cells {
@@ -278,6 +292,8 @@ impl SystemWorld {
                 let shadow_db = system.path_loss.draw_site_shadow_db(&mut rng);
                 let distance = motion.position().distance_m(centers[c as usize]);
                 terminal.set_mean_snr_db(system.path_loss.mean_snr_db(distance) + shadow_db);
+                // Global ids ascend across the cell loop, matching the
+                // columnar store's push-in-index-order contract.
                 terminals.push(terminal);
                 roam.push(RoamState {
                     serving: c,
@@ -359,15 +375,16 @@ impl SystemWorld {
         let threads = (self.system.threads.max(1) as usize).min(n_cells);
 
         {
+            let n_terminals = self.terminals.len();
             let grid = ShardGrid {
                 cells: self.cells.as_mut_ptr(),
                 macs: self.macs.as_mut_ptr(),
                 roam: self.roam.as_mut_ptr(),
-                terminals: self.terminals.as_mut_ptr(),
+                columns: self.terminals.view(),
                 traffic: self.traffic.as_mut_ptr(),
                 mailboxes: self.mailboxes.as_mut_ptr(),
                 n_cells,
-                n_terminals: self.terminals.len(),
+                n_terminals,
             };
             let ctx = FrameCtx {
                 config: &self.config,
@@ -481,9 +498,11 @@ struct SerialState<'a> {
 ///
 /// Holding plain `&mut` slices here would make the two parallel phases
 /// instant undefined behaviour (each worker needs mutable access into the
-/// same vectors), so the grid stores base pointers and materialises
-/// per-element references on demand.  Soundness rests on two invariants,
-/// both enforced by the frame structure:
+/// same vectors), so the grid stores base pointers — and, for the terminal
+/// population, the bounds-checked column view [`ColumnsView`] over the
+/// structure-of-arrays store — and materialises per-element references on
+/// demand.  Soundness rests on two invariants, both enforced by the frame
+/// structure:
 ///
 /// * **spatial**: during a parallel phase, worker `w` only touches cells
 ///   `c ≡ w (mod threads)` and their members, and the cell membership is a
@@ -494,7 +513,9 @@ struct ShardGrid {
     cells: *mut Cell,
     macs: *mut Box<dyn UplinkMac>,
     roam: *mut RoamState,
-    terminals: *mut Terminal,
+    /// Bounds-checked per-column view over the global terminal store; its
+    /// own safety contract is exactly the partition discipline above.
+    columns: ColumnsView,
     traffic: *mut FrameTraffic,
     mailboxes: *mut CellMailbox,
     n_cells: usize,
@@ -503,8 +524,9 @@ struct ShardGrid {
 
 // SAFETY: the grid is a bundle of pointers into state owned by the
 // `SystemWorld` that outlives the scoped worker threads; every pointee type
-// is `Send` (asserted below), and access discipline is documented on the
-// struct.
+// is `Send` (asserted below, with the terminal column elements asserted by
+// `ColumnsView`'s own const block), and access discipline is documented on
+// the struct.
 unsafe impl Send for ShardGrid {}
 unsafe impl Sync for ShardGrid {}
 
@@ -515,7 +537,7 @@ const _: () = {
     assert_send::<Cell>();
     assert_send::<Box<dyn UplinkMac>>();
     assert_send::<RoamState>();
-    assert_send::<Terminal>();
+    assert_send::<ColumnsView>();
     assert_send::<FrameTraffic>();
     assert_send::<CellMailbox>();
 };
@@ -558,14 +580,6 @@ impl ShardGrid {
     unsafe fn roam(&self, i: usize) -> &mut RoamState {
         debug_assert!(i < self.n_terminals);
         &mut *self.roam.add(i)
-    }
-
-    /// # Safety
-    ///
-    /// As [`ShardGrid::roam`], for the terminal itself.
-    unsafe fn terminal(&self, i: usize) -> &mut Terminal {
-        debug_assert!(i < self.n_terminals);
-        &mut *self.terminals.add(i)
     }
 
     /// # Safety
@@ -624,7 +638,7 @@ unsafe fn migrate(
     debug_assert_ne!(old, target);
     grid.cell(old as usize).detach(id);
     grid.mac(old as usize).forget_terminal(id);
-    let dropped = grid.terminal(i).drop_buffered_voice() as u64;
+    let dropped = grid.columns.drop_buffered_voice(i) as u64;
     if measuring_drops {
         grid.cell(old as usize).metrics_mut().voice.dropped_handoff += dropped;
     }
@@ -643,7 +657,7 @@ unsafe fn migrate(
         .position()
         .distance_m(ctx.centers[target as usize]);
     let snr_db = ctx.system.path_loss.mean_snr_db(d) + roam.shadow_db;
-    grid.terminal(i).set_mean_snr_db(snr_db);
+    grid.columns.set_mean_snr_db(i, snr_db);
 }
 
 /// Phase 1: admits queued terminals into every cell that has room, oldest
@@ -703,7 +717,7 @@ unsafe fn roam_phase(
         let i = id.index() as usize;
 
         // Traffic and channel boundary, attributed to the serving cell.
-        let tr = grid.terminal(i).begin_frame(frame);
+        let tr = grid.columns.begin_frame(i, frame);
         *grid.traffic_mut(i) = tr;
         if measuring {
             let metrics = cell.metrics_mut();
@@ -723,7 +737,7 @@ unsafe fn roam_phase(
         let pos = roam.motion.position();
         let d_serving = pos.distance_m(ctx.centers[c]);
         let snr_db = ctx.system.path_loss.mean_snr_db(d_serving) + roam.shadow_db;
-        grid.terminal(i).set_mean_snr_db(snr_db);
+        grid.columns.set_mean_snr_db(i, snr_db);
 
         // Nearest base station (Voronoi cell of the current position).
         let (nearest, d_nearest) = ctx
@@ -813,7 +827,7 @@ unsafe fn merge_mailboxes(
                             // the target is full, the packets in flight are
                             // lost, and the terminal limps along on its old
                             // (distant) link until a retry.
-                            let dropped = grid.terminal(i).drop_buffered_voice() as u64;
+                            let dropped = grid.columns.drop_buffered_voice(i) as u64;
                             let serving = grid.roam(i).serving;
                             if measuring_drops {
                                 grid.cell(serving as usize)
@@ -850,13 +864,15 @@ unsafe fn merge_mailboxes(
 /// # Safety
 ///
 /// As [`roam_phase`]: the caller must own cell `c`, and the MAC may touch
-/// the global `terminals` / `traffic` tables only at its member indices
+/// the global terminal columns / `traffic` table only at its member indices
 /// (which [`FrameWorld`](crate::world::FrameWorld) accessors guarantee —
-/// protocols only ever reach terminals through member ids).
+/// protocols only ever reach terminals through member ids).  The table
+/// inherits the column view's bounds checks, so a protocol bug that escapes
+/// its membership indexes out loudly instead of racing.
 unsafe fn mac_phase(grid: &ShardGrid, ctx: &FrameCtx<'_>, c: usize, frame: u64, measuring: bool) {
     let cell = grid.cell(c);
     let mac = grid.mac(c);
-    let table = TerminalTable::from_raw(grid.terminals, grid.n_terminals);
+    let table = TerminalTable::from_view(grid.columns);
     cell.step(
         frame,
         ctx.config,

@@ -16,75 +16,77 @@
 //! Protocols differ only in *which* terminals they admit to contention, *how*
 //! they order the successful requests and *how many* slots they hand to each
 //! — which is exactly the design space the paper describes.
+//!
+//! # The index-slice MAC API
+//!
+//! Terminal state lives in the structure-of-arrays store
+//! ([`crate::columns::TerminalColumns`]); a protocol addresses it through the
+//! world's *index accessors* — [`FrameWorld::members`] hands out the member
+//! id slice, and per-terminal reads go through [`FrameWorld::class`],
+//! [`FrameWorld::voice_backlog`], [`FrameWorld::has_backlog`] and friends.
+//! The previous object getters ([`FrameWorld::terminal`],
+//! [`FrameWorld::terminal_mut`]) survive one release as thin `#[deprecated]`
+//! shims returning proxy handles.
 
+use crate::columns::{ColumnsView, TerminalColumns};
 use crate::config::SimConfig;
-use crate::terminal::{FrameTraffic, Terminal};
+use crate::terminal::FrameTraffic;
 use charisma_des::{FrameClock, Sampler, SimTime, Xoshiro256StarStar};
 use charisma_metrics::RunMetrics;
 use charisma_phy::{AdaptivePhy, FixedPhy, Phy};
 use charisma_radio::{CsiEstimate, CsiEstimator};
-use charisma_traffic::{buffer::ServedRun, TerminalClass, TerminalId};
+use charisma_traffic::{DataBuffer, TerminalClass, TerminalId, VoiceBuffer};
 use std::marker::PhantomData;
 
-/// A view over the global terminal population that hands out per-terminal
-/// references without holding a `&mut` over the whole slice.
+/// A borrow-like handle over the global terminal column store.
 ///
-/// In a single-cell run this is just a borrowed `&mut [Terminal]`.  In a
-/// sharded multi-cell run every cell's [`FrameWorld`] gets a table over the
-/// *same* underlying slice from a different worker thread; that would be
-/// instant undefined behaviour with `&mut [Terminal]` aliases, so the table
-/// stores a raw pointer and materialises one-element references on demand.
-/// Soundness rests on the system layer's membership partition: each terminal
+/// In a single-cell run this is just a reborrow of the scenario's
+/// [`TerminalColumns`].  In a sharded multi-cell run every cell's
+/// [`FrameWorld`] gets a table over the *same* columns from a different
+/// worker thread; the table therefore carries the crate-internal
+/// `ColumnsView` (per-column base pointers) instead of a `&mut`, and
+/// soundness rests on the system layer's membership partition: each terminal
 /// is attached to exactly one cell, and a cell's MAC only ever touches its
-/// own members, so concurrent tables access disjoint elements.
+/// own members, so concurrent tables access disjoint column elements.  Every
+/// element access is bounds-checked (release builds included), so the unsafe
+/// surface is confined to the aliasing argument above.
 pub struct TerminalTable<'a> {
-    ptr: *mut Terminal,
-    len: usize,
-    _marker: PhantomData<&'a mut [Terminal]>,
+    view: ColumnsView,
+    _marker: PhantomData<&'a mut TerminalColumns>,
 }
 
-impl<'a> From<&'a mut [Terminal]> for TerminalTable<'a> {
-    fn from(terminals: &'a mut [Terminal]) -> Self {
+impl<'a> From<&'a mut TerminalColumns> for TerminalTable<'a> {
+    fn from(columns: &'a mut TerminalColumns) -> Self {
         TerminalTable {
-            ptr: terminals.as_mut_ptr(),
-            len: terminals.len(),
+            view: columns.view(),
             _marker: PhantomData,
         }
     }
 }
 
-impl<'a> From<&'a mut Vec<Terminal>> for TerminalTable<'a> {
-    fn from(terminals: &'a mut Vec<Terminal>) -> Self {
-        terminals.as_mut_slice().into()
-    }
-}
-
 impl<'a> TerminalTable<'a> {
-    /// Builds a table from a raw pointer and length.
+    /// Builds a table directly from a column view (the sharded system
+    /// layer's entry point).
     ///
-    /// # Safety
-    ///
-    /// `ptr` must point to `len` initialised `Terminal`s that outlive `'a`,
-    /// and for the lifetime of the table no element it accesses may be
-    /// accessed through any other path.  Concurrent tables over the same
-    /// allocation are allowed only if they access disjoint elements (the
-    /// system layer's cell-membership partition).
-    pub unsafe fn from_raw(ptr: *mut Terminal, len: usize) -> Self {
+    /// The caller asserts the partitioned-exclusivity contract documented on
+    /// [`ColumnsView`]: for the table's lifetime, no element it accesses may
+    /// be accessed through any other path.  Kept crate-private so the whole
+    /// aliasing argument stays inside the crate.
+    pub(crate) fn from_view(view: ColumnsView) -> Self {
         TerminalTable {
-            ptr,
-            len,
+            view,
             _marker: PhantomData,
         }
     }
 
     /// Number of terminals in the table (the whole scenario population).
     pub fn len(&self) -> usize {
-        self.len
+        self.view.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.view.len() == 0
     }
 
     /// Re-borrows the table at a shorter lifetime, exactly like re-borrowing
@@ -93,24 +95,63 @@ impl<'a> TerminalTable<'a> {
     /// only, not for the caller's full table lifetime.
     pub fn reborrow(&mut self) -> TerminalTable<'_> {
         TerminalTable {
-            ptr: self.ptr,
-            len: self.len,
+            view: self.view,
             _marker: PhantomData,
         }
     }
 
-    fn get(&self, index: usize) -> &Terminal {
-        assert!(index < self.len, "terminal index {index} out of bounds");
-        // SAFETY: bounds-checked above; exclusivity per the table contract.
-        unsafe { &*self.ptr.add(index) }
+    // Element accessors.  SAFETY (applies to each): the table's construction
+    // contract licenses access to the element — either the table was built
+    // from `&mut TerminalColumns` (full exclusivity) or via `from_view`
+    // under the membership partition; `&mut self` on the mutating accessors
+    // prevents a second live reference through *this* table.
+
+    pub(crate) fn class(&self, i: usize) -> TerminalClass {
+        unsafe { self.view.class(i) }
     }
 
-    fn get_mut(&mut self, index: usize) -> &mut Terminal {
-        assert!(index < self.len, "terminal index {index} out of bounds");
-        // SAFETY: bounds-checked above; `&mut self` prevents a second
-        // reference through *this* table, exclusivity across tables per the
-        // table contract.
-        unsafe { &mut *self.ptr.add(index) }
+    pub(crate) fn in_talkspurt(&self, i: usize) -> bool {
+        unsafe { self.view.in_talkspurt(i) }
+    }
+
+    pub(crate) fn voice_backlog(&self, i: usize) -> usize {
+        unsafe { self.view.voice_backlog(i) }
+    }
+
+    pub(crate) fn data_backlog(&self, i: usize) -> u64 {
+        unsafe { self.view.data_backlog(i) }
+    }
+
+    pub(crate) fn has_backlog(&self, i: usize) -> bool {
+        unsafe { self.view.has_backlog(i) }
+    }
+
+    pub(crate) fn earliest_voice_deadline(&self, i: usize) -> Option<SimTime> {
+        unsafe { self.view.earliest_voice_deadline(i) }
+    }
+
+    pub(crate) fn oldest_data_arrival(&self, i: usize) -> Option<SimTime> {
+        unsafe { self.view.oldest_data_arrival(i) }
+    }
+
+    pub(crate) fn true_snr_db(&mut self, i: usize, t: SimTime) -> f64 {
+        unsafe { self.view.true_snr_db(i, t) }
+    }
+
+    pub(crate) fn voice_buffer_mut(&mut self, i: usize) -> &mut VoiceBuffer {
+        unsafe { self.view.voice_buffer_mut(i) }
+    }
+
+    pub(crate) fn data_buffer_mut(&mut self, i: usize) -> &mut DataBuffer {
+        unsafe { self.view.data_buffer_mut(i) }
+    }
+
+    pub(crate) fn contention_rng(&mut self, i: usize) -> &mut Xoshiro256StarStar {
+        unsafe { self.view.contention_rng(i) }
+    }
+
+    pub(crate) fn phy_rng(&mut self, i: usize) -> &mut Xoshiro256StarStar {
+        unsafe { self.view.phy_rng(i) }
     }
 }
 
@@ -128,7 +169,7 @@ pub struct FrameScratch {
     /// Positions (into `contend_remaining`) transmitting in one minislot.
     contend_transmitters: Vec<usize>,
     /// Runs popped from a data buffer in [`FrameWorld::transmit_data`].
-    data_runs: Vec<ServedRun>,
+    data_runs: Vec<charisma_traffic::buffer::ServedRun>,
     /// Errored packets awaiting re-insertion in [`FrameWorld::transmit_data`].
     data_requeue: Vec<(SimTime, u32)>,
 }
@@ -176,6 +217,124 @@ pub struct DataTx {
     pub errored: u32,
 }
 
+/// Read-only proxy for one terminal, returned by the deprecated
+/// [`FrameWorld::terminal`] shim.  New code should use the index accessors
+/// ([`FrameWorld::class`], [`FrameWorld::voice_backlog`], …) directly.
+pub struct TerminalRef<'w> {
+    view: ColumnsView,
+    i: usize,
+    _marker: PhantomData<&'w ()>,
+}
+
+impl TerminalRef<'_> {
+    /// The terminal's service class.
+    pub fn class(&self) -> TerminalClass {
+        unsafe { self.view.class(self.i) }
+    }
+
+    /// Whether the terminal is currently in a talkspurt.
+    pub fn in_talkspurt(&self) -> bool {
+        unsafe { self.view.in_talkspurt(self.i) }
+    }
+
+    /// Number of voice packets waiting in the transmit buffer.
+    pub fn voice_backlog(&self) -> usize {
+        unsafe { self.view.voice_backlog(self.i) }
+    }
+
+    /// Number of data packets waiting in the transmit buffer.
+    pub fn data_backlog(&self) -> u64 {
+        unsafe { self.view.data_backlog(self.i) }
+    }
+
+    /// Whether the terminal has anything to send.
+    pub fn has_backlog(&self) -> bool {
+        unsafe { self.view.has_backlog(self.i) }
+    }
+
+    /// Earliest deadline among buffered voice packets.
+    pub fn earliest_voice_deadline(&self) -> Option<SimTime> {
+        unsafe { self.view.earliest_voice_deadline(self.i) }
+    }
+
+    /// Arrival time of the oldest buffered data packet.
+    pub fn oldest_data_arrival(&self) -> Option<SimTime> {
+        unsafe { self.view.oldest_data_arrival(self.i) }
+    }
+}
+
+/// Mutable proxy for one terminal, returned by the deprecated
+/// [`FrameWorld::terminal_mut`] shim.  New code should use the index
+/// accessors ([`FrameWorld::voice_buffer_mut`], [`FrameWorld::true_snr_db`],
+/// …) directly.
+pub struct TerminalMut<'w> {
+    view: ColumnsView,
+    i: usize,
+    _marker: PhantomData<&'w mut ()>,
+}
+
+impl TerminalMut<'_> {
+    /// The terminal's service class.
+    pub fn class(&self) -> TerminalClass {
+        unsafe { self.view.class(self.i) }
+    }
+
+    /// Whether the terminal is currently in a talkspurt.
+    pub fn in_talkspurt(&self) -> bool {
+        unsafe { self.view.in_talkspurt(self.i) }
+    }
+
+    /// Number of voice packets waiting in the transmit buffer.
+    pub fn voice_backlog(&self) -> usize {
+        unsafe { self.view.voice_backlog(self.i) }
+    }
+
+    /// Number of data packets waiting in the transmit buffer.
+    pub fn data_backlog(&self) -> u64 {
+        unsafe { self.view.data_backlog(self.i) }
+    }
+
+    /// Whether the terminal has anything to send.
+    pub fn has_backlog(&self) -> bool {
+        unsafe { self.view.has_backlog(self.i) }
+    }
+
+    /// Earliest deadline among buffered voice packets.
+    pub fn earliest_voice_deadline(&self) -> Option<SimTime> {
+        unsafe { self.view.earliest_voice_deadline(self.i) }
+    }
+
+    /// Arrival time of the oldest buffered data packet.
+    pub fn oldest_data_arrival(&self) -> Option<SimTime> {
+        unsafe { self.view.oldest_data_arrival(self.i) }
+    }
+
+    /// Mutable access to the voice buffer.
+    pub fn voice_buffer_mut(&mut self) -> &mut VoiceBuffer {
+        unsafe { self.view.voice_buffer_mut(self.i) }
+    }
+
+    /// Mutable access to the data buffer.
+    pub fn data_buffer_mut(&mut self) -> &mut DataBuffer {
+        unsafe { self.view.data_buffer_mut(self.i) }
+    }
+
+    /// The terminal's true instantaneous SNR at time `t`.
+    pub fn true_snr_db(&mut self, t: SimTime) -> f64 {
+        unsafe { self.view.true_snr_db(self.i, t) }
+    }
+
+    /// The contention random stream (permission probability, slot choice).
+    pub fn contention_rng(&mut self) -> &mut Xoshiro256StarStar {
+        unsafe { self.view.contention_rng(self.i) }
+    }
+
+    /// The packet-error random stream.
+    pub fn phy_rng(&mut self) -> &mut Xoshiro256StarStar {
+        unsafe { self.view.phy_rng(self.i) }
+    }
+}
+
 /// The mutable per-frame view handed to a protocol's `run_frame`.
 pub struct FrameWorld<'a> {
     /// Index of the current frame.
@@ -189,11 +348,11 @@ pub struct FrameWorld<'a> {
     /// Whether the warm-up period is over and counters should accumulate.
     pub measuring: bool,
     /// Per-terminal traffic events at this frame boundary (indexed like
-    /// `terminals`).
+    /// the global terminal population).
     pub traffic: &'a [FrameTraffic],
     /// The terminals attached to this world's base station, in attachment
     /// order.  In a single-cell run this is every terminal; in a multi-cell
-    /// run it is the serving cell's current membership, and `terminals` /
+    /// run it is the serving cell's current membership, and the columns /
     /// `traffic` still span the whole system (ids are global).
     members: &'a [TerminalId],
     terminals: TerminalTable<'a>,
@@ -206,8 +365,8 @@ pub struct FrameWorld<'a> {
 }
 
 impl<'a> FrameWorld<'a> {
-    /// Assembles the per-frame world.  `terminals[i].id().index() == i` must
-    /// hold; the scenario builder guarantees it.
+    /// Assembles the per-frame world.  Column slot `i` must be
+    /// `TerminalId(i)`; the scenario builder guarantees it.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         frame: u64,
@@ -248,21 +407,102 @@ impl<'a> FrameWorld<'a> {
         self.terminals.len()
     }
 
-    /// Immutable access to a terminal.
-    pub fn terminal(&self, id: TerminalId) -> &Terminal {
-        self.terminals.get(id.index() as usize)
+    /// Immutable proxy for a terminal.
+    #[deprecated(note = "use the index accessors instead: `world.class(id)`, \
+                `world.voice_backlog(id)`, `world.has_backlog(id)`, …")]
+    pub fn terminal(&self, id: TerminalId) -> TerminalRef<'_> {
+        TerminalRef {
+            view: self.terminals.view,
+            i: id.index() as usize,
+            _marker: PhantomData,
+        }
     }
 
-    /// Mutable access to a terminal.
-    pub fn terminal_mut(&mut self, id: TerminalId) -> &mut Terminal {
-        self.terminals.get_mut(id.index() as usize)
+    /// Mutable proxy for a terminal.
+    #[deprecated(
+        note = "use the index accessors instead: `world.voice_buffer_mut(id)`, \
+                `world.true_snr_db(id)`, `world.contention_rng(id)`, …"
+    )]
+    pub fn terminal_mut(&mut self, id: TerminalId) -> TerminalMut<'_> {
+        TerminalMut {
+            view: self.terminals.view,
+            i: id.index() as usize,
+            _marker: PhantomData,
+        }
     }
 
-    /// Iterates over the ids of the terminals attached to this base station,
-    /// in attachment order.  This is the population a MAC protocol serves:
-    /// in a multi-cell run, terminals of other cells are invisible here.
+    /// The ids of the terminals attached to this base station, in attachment
+    /// order.  This is the population a MAC protocol serves: in a multi-cell
+    /// run, terminals of other cells are invisible here.
+    pub fn members(&self) -> &'a [TerminalId] {
+        self.members
+    }
+
+    /// Iterates over the member ids ([`FrameWorld::members`] as an
+    /// iterator).
     pub fn terminal_ids(&self) -> impl Iterator<Item = TerminalId> + '_ {
         self.members.iter().copied()
+    }
+
+    // ----- per-terminal index accessors (the MAC-facing read surface) -----
+
+    /// The terminal's service class.
+    pub fn class(&self, id: TerminalId) -> TerminalClass {
+        self.terminals.class(id.index() as usize)
+    }
+
+    /// Whether the terminal is currently in a talkspurt.
+    pub fn in_talkspurt(&self, id: TerminalId) -> bool {
+        self.terminals.in_talkspurt(id.index() as usize)
+    }
+
+    /// Number of voice packets waiting in the terminal's transmit buffer.
+    pub fn voice_backlog(&self, id: TerminalId) -> usize {
+        self.terminals.voice_backlog(id.index() as usize)
+    }
+
+    /// Number of data packets waiting in the terminal's transmit buffer.
+    pub fn data_backlog(&self, id: TerminalId) -> u64 {
+        self.terminals.data_backlog(id.index() as usize)
+    }
+
+    /// Whether the terminal has anything to send.
+    pub fn has_backlog(&self, id: TerminalId) -> bool {
+        self.terminals.has_backlog(id.index() as usize)
+    }
+
+    /// Earliest deadline among the terminal's buffered voice packets.
+    pub fn earliest_voice_deadline(&self, id: TerminalId) -> Option<SimTime> {
+        self.terminals.earliest_voice_deadline(id.index() as usize)
+    }
+
+    /// Arrival time of the terminal's oldest buffered data packet.
+    pub fn oldest_data_arrival(&self, id: TerminalId) -> Option<SimTime> {
+        self.terminals.oldest_data_arrival(id.index() as usize)
+    }
+
+    /// The terminal's true instantaneous SNR at the current frame start
+    /// (memoised per frame in lazy channel mode).
+    pub fn true_snr_db(&mut self, id: TerminalId) -> f64 {
+        let now = self.now;
+        self.terminals.true_snr_db(id.index() as usize, now)
+    }
+
+    /// Mutable access to the terminal's voice buffer (transmission engine
+    /// and tests).
+    pub fn voice_buffer_mut(&mut self, id: TerminalId) -> &mut VoiceBuffer {
+        self.terminals.voice_buffer_mut(id.index() as usize)
+    }
+
+    /// Mutable access to the terminal's data buffer (transmission engine
+    /// and tests).
+    pub fn data_buffer_mut(&mut self, id: TerminalId) -> &mut DataBuffer {
+        self.terminals.data_buffer_mut(id.index() as usize)
+    }
+
+    /// The terminal's contention random stream.
+    pub fn contention_rng(&mut self, id: TerminalId) -> &mut Xoshiro256StarStar {
+        self.terminals.contention_rng(id.index() as usize)
     }
 
     /// The metrics accumulator (protocols may add protocol-specific samples).
@@ -348,16 +588,19 @@ impl<'a> FrameWorld<'a> {
         let mut transmitters = std::mem::take(&mut self.scratch.contend_transmitters);
         remaining.clear();
         remaining.extend_from_slice(eligible);
+        let (pv, pd) = (self.config.contention.pv, self.config.contention.pd);
         for _slot in 0..n_slots {
             if remaining.is_empty() {
                 break;
             }
             transmitters.clear();
             for (pos, &id) in remaining.iter().enumerate() {
-                let class = self.terminal(id).class();
-                let p = self.permission_probability(class);
-                let t = self.terminal_mut(id);
-                if Sampler::bernoulli(t.contention_rng(), p) {
+                let i = id.index() as usize;
+                let p = match self.terminals.class(i) {
+                    TerminalClass::Voice => pv,
+                    TerminalClass::Data => pd,
+                };
+                if Sampler::bernoulli(self.terminals.contention_rng(i), p) {
                     transmitters.push(pos);
                 }
             }
@@ -388,7 +631,7 @@ impl<'a> FrameWorld<'a> {
     /// the current frame start (used for new requests and CSI polling).
     pub fn estimate_csi(&mut self, id: TerminalId) -> CsiEstimate {
         let now = self.now;
-        let true_snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
+        let true_snr = self.terminals.true_snr_db(id.index() as usize, now);
         self.estimator.estimate(true_snr, now)
     }
 
@@ -404,7 +647,7 @@ impl<'a> FrameWorld<'a> {
             LinkAdaptation::Fixed => self.fixed_phy.packets_per_slot(0.0),
             LinkAdaptation::Tracking => {
                 let now = self.now;
-                let snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
+                let snr = self.terminals.true_snr_db(id.index() as usize, now);
                 self.adaptive_phy.packets_per_slot(snr)
             }
             LinkAdaptation::Announced { snr_db } => self.adaptive_phy.packets_per_slot(snr_db),
@@ -415,7 +658,7 @@ impl<'a> FrameWorld<'a> {
     /// now under the given link adaptation.
     fn error_probability(&mut self, id: TerminalId, link: LinkAdaptation) -> f64 {
         let now = self.now;
-        let true_snr = self.terminals.get_mut(id.index() as usize).true_snr_db(now);
+        let true_snr = self.terminals.true_snr_db(id.index() as usize, now);
         match link {
             LinkAdaptation::Fixed => self.fixed_phy.packet_error_probability(true_snr),
             LinkAdaptation::Tracking => self.adaptive_phy.packet_error_probability(true_snr),
@@ -441,11 +684,11 @@ impl<'a> FrameWorld<'a> {
         }
         let per = self.error_probability(id, link);
         let measuring = self.measuring;
-        let terminal = self.terminals.get_mut(id.index() as usize);
-        let Some(_packet) = terminal.voice_buffer_mut().pop() else {
+        let i = id.index() as usize;
+        if self.terminals.voice_buffer_mut(i).pop().is_none() {
             return VoiceTx::NoPacket;
-        };
-        let ok = Sampler::bernoulli(terminal.phy_rng(), 1.0 - per);
+        }
+        let ok = Sampler::bernoulli(self.terminals.phy_rng(i), 1.0 - per);
         if measuring {
             self.metrics.slots.assigned += slots;
             if ok {
@@ -475,8 +718,12 @@ impl<'a> FrameWorld<'a> {
     /// when the terminal had no packet to lose.
     pub fn fail_voice(&mut self, id: TerminalId, slots: f64) -> bool {
         let measuring = self.measuring;
-        let terminal = self.terminals.get_mut(id.index() as usize);
-        if terminal.voice_buffer_mut().pop().is_none() {
+        if self
+            .terminals
+            .voice_buffer_mut(id.index() as usize)
+            .pop()
+            .is_none()
+        {
             return false;
         }
         if measuring {
@@ -512,15 +759,17 @@ impl<'a> FrameWorld<'a> {
         let per = self.error_probability(id, link);
         let now = self.now;
         let measuring = self.measuring;
+        let i = id.index() as usize;
 
         // Detach the scratch buffers so the draw loop can borrow the terminal
-        // and the metrics simultaneously.
+        // columns and the metrics simultaneously.
         let mut runs = std::mem::take(&mut self.scratch.data_runs);
         let mut requeue = std::mem::take(&mut self.scratch.data_requeue);
         requeue.clear();
 
-        let terminal = self.terminals.get_mut(id.index() as usize);
-        terminal.data_buffer_mut().pop_into(budget, &mut runs);
+        self.terminals
+            .data_buffer_mut(i)
+            .pop_into(budget, &mut runs);
         if runs.is_empty() {
             self.scratch.data_runs = runs;
             self.scratch.data_requeue = requeue;
@@ -532,7 +781,7 @@ impl<'a> FrameWorld<'a> {
         // original arrival time and FIFO position.
         for run in &runs {
             for _ in 0..run.count {
-                let ok = Sampler::bernoulli(terminal.phy_rng(), 1.0 - per);
+                let ok = Sampler::bernoulli(self.terminals.phy_rng(i), 1.0 - per);
                 if ok {
                     result.delivered += 1;
                     if measuring {
@@ -552,7 +801,7 @@ impl<'a> FrameWorld<'a> {
         }
         // Re-insert errored packets at the front in their original order.
         for &(arrived, count) in requeue.iter().rev() {
-            terminal.data_buffer_mut().push_front(arrived, count);
+            self.terminals.data_buffer_mut(i).push_front(arrived, count);
         }
         self.scratch.data_runs = runs;
         self.scratch.data_requeue = requeue;
@@ -570,6 +819,7 @@ impl<'a> FrameWorld<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columns::TerminalColumns;
     use crate::config::SimConfig;
     use crate::terminal::Terminal;
     use charisma_des::RngStreams;
@@ -589,31 +839,29 @@ mod tests {
         config.num_data = n_data;
         let streams = RngStreams::new(config.seed);
         let clock = config.clock();
-        let mut terminals: Vec<Terminal> = (0..n_voice + n_data)
-            .map(|i| {
-                let class = if i < n_voice {
-                    TerminalClass::Voice
-                } else {
-                    TerminalClass::Data
-                };
-                Terminal::new(
-                    TerminalId(i),
-                    class,
-                    clock,
-                    config.voice_source,
-                    config.data_source,
-                    config.channel,
-                    config.channel_mode,
-                    &config.speed,
-                    &streams,
-                )
-            })
-            .collect();
-        let mut traffic = vec![FrameTraffic::default(); terminals.len()];
+        let mut columns =
+            TerminalColumns::with_capacity(clock, config.channel_mode, (n_voice + n_data) as usize);
+        for i in 0..n_voice + n_data {
+            let class = if i < n_voice {
+                TerminalClass::Voice
+            } else {
+                TerminalClass::Data
+            };
+            columns.push(Terminal::new(
+                TerminalId(i),
+                class,
+                clock,
+                config.voice_source,
+                config.data_source,
+                config.channel,
+                config.channel_mode,
+                &config.speed,
+                &streams,
+            ));
+        }
+        let mut traffic = vec![FrameTraffic::default(); columns.len()];
         for k in 0..=setup_frames {
-            for (i, t) in terminals.iter_mut().enumerate() {
-                traffic[i] = t.begin_frame(k);
-            }
+            columns.begin_frame_all(k, &mut traffic);
         }
         let mut metrics = RunMetrics::default();
         let mut estimator = CsiEstimator::new(
@@ -635,7 +883,7 @@ mod tests {
             true,
             &traffic,
             &members,
-            &mut terminals,
+            &mut columns,
             &mut metrics,
             &mut estimator,
             &mut bs_rng,
@@ -694,12 +942,7 @@ mod tests {
         with_world(1, 0, 0, |mut w| {
             // Frame 0: the terminal may or may not have generated a packet;
             // drain the buffer first to force the NoPacket path.
-            while w
-                .terminal_mut(TerminalId(0))
-                .voice_buffer_mut()
-                .pop()
-                .is_some()
-            {}
+            while w.voice_buffer_mut(TerminalId(0)).pop().is_some() {}
             let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Fixed);
             assert_eq!(r, VoiceTx::NoPacket);
         });
@@ -710,12 +953,10 @@ mod tests {
         with_world(1, 0, 0, |mut w| {
             use charisma_traffic::buffer::VoicePacket;
             let now = w.now;
-            w.terminal_mut(TerminalId(0))
-                .voice_buffer_mut()
-                .push(VoicePacket {
-                    generated_at: now,
-                    deadline: now + charisma_des::SimDuration::from_millis(20),
-                });
+            w.voice_buffer_mut(TerminalId(0)).push(VoicePacket {
+                generated_at: now,
+                deadline: now + charisma_des::SimDuration::from_millis(20),
+            });
             let r = w.transmit_voice(TerminalId(0), 1.0, LinkAdaptation::Fixed);
             assert!(matches!(r, VoiceTx::Delivered | VoiceTx::Errored));
             let m = w.metrics_mut();
@@ -729,12 +970,10 @@ mod tests {
         with_world(1, 0, 0, |mut w| {
             use charisma_traffic::buffer::VoicePacket;
             let now = w.now;
-            w.terminal_mut(TerminalId(0))
-                .voice_buffer_mut()
-                .push(VoicePacket {
-                    generated_at: now,
-                    deadline: now + charisma_des::SimDuration::from_millis(20),
-                });
+            w.voice_buffer_mut(TerminalId(0)).push(VoicePacket {
+                generated_at: now,
+                deadline: now + charisma_des::SimDuration::from_millis(20),
+            });
             // Announce a 60 dB estimate: the true channel is far below, so the
             // announced (densest) mode cannot be sustained.
             let r = w.transmit_voice(
@@ -754,12 +993,10 @@ mod tests {
         with_world(1, 0, 0, |mut w| {
             use charisma_traffic::buffer::VoicePacket;
             let now = w.now;
-            w.terminal_mut(TerminalId(0))
-                .voice_buffer_mut()
-                .push(VoicePacket {
-                    generated_at: now,
-                    deadline: now + charisma_des::SimDuration::from_millis(20),
-                });
+            w.voice_buffer_mut(TerminalId(0)).push(VoicePacket {
+                generated_at: now,
+                deadline: now + charisma_des::SimDuration::from_millis(20),
+            });
             // Announcing a deep-outage CSI yields zero capacity: nothing sent.
             let r = w.transmit_voice(
                 TerminalId(0),
@@ -767,7 +1004,7 @@ mod tests {
                 LinkAdaptation::Announced { snr_db: -40.0 },
             );
             assert_eq!(r, VoiceTx::InsufficientCapacity);
-            assert_eq!(w.terminal(TerminalId(0)).voice_backlog(), 1);
+            assert_eq!(w.voice_backlog(TerminalId(0)), 1);
         });
     }
 
@@ -775,15 +1012,10 @@ mod tests {
     fn transmit_data_moves_packets_and_measures_delay() {
         with_world(0, 1, 0, |mut w| {
             let now = w.now;
-            w.terminal_mut(TerminalId(0))
-                .data_buffer_mut()
-                .push_burst(now, 50);
+            w.data_buffer_mut(TerminalId(0)).push_burst(now, 50);
             let r = w.transmit_data(TerminalId(0), 4.0, 10, LinkAdaptation::Fixed);
             assert_eq!(r.delivered + r.errored, 4); // 4 slots × 1 pkt/slot, cap 10
-            assert_eq!(
-                w.terminal(TerminalId(0)).data_backlog(),
-                50 - r.delivered as u64
-            );
+            assert_eq!(w.data_backlog(TerminalId(0)), 50 - r.delivered as u64);
             let m = w.metrics_mut();
             assert_eq!(m.data.delivered, r.delivered as u64);
             assert_eq!(m.data.retransmissions, r.errored as u64);
@@ -794,9 +1026,7 @@ mod tests {
     fn transmit_data_respects_packet_cap() {
         with_world(0, 1, 0, |mut w| {
             let now = w.now;
-            w.terminal_mut(TerminalId(0))
-                .data_buffer_mut()
-                .push_burst(now, 50);
+            w.data_buffer_mut(TerminalId(0)).push_burst(now, 50);
             let r = w.transmit_data(TerminalId(0), 8.0, 3, LinkAdaptation::Fixed);
             assert!(r.delivered + r.errored <= 3);
         });
@@ -806,9 +1036,7 @@ mod tests {
     fn errored_data_packets_keep_their_arrival_time() {
         with_world(0, 1, 0, |mut w| {
             let arrival = w.now;
-            w.terminal_mut(TerminalId(0))
-                .data_buffer_mut()
-                .push_burst(arrival, 5);
+            w.data_buffer_mut(TerminalId(0)).push_burst(arrival, 5);
             // Force certain errors by announcing an absurd mode.
             let r = w.transmit_data(
                 TerminalId(0),
@@ -817,10 +1045,7 @@ mod tests {
                 LinkAdaptation::Announced { snr_db: 55.0 },
             );
             if r.errored > 0 {
-                assert_eq!(
-                    w.terminal(TerminalId(0)).oldest_data_arrival(),
-                    Some(arrival)
-                );
+                assert_eq!(w.oldest_data_arrival(TerminalId(0)), Some(arrival));
             }
         });
     }
@@ -846,13 +1071,12 @@ mod tests {
                 assert_eq!(w.capacity(id, LinkAdaptation::Tracking), c0);
             }
             // The underlying SNR itself is also stable across repeated reads.
-            let now = w.now;
-            let snr = w.terminal_mut(id).true_snr_db(now);
-            assert_eq!(w.terminal_mut(id).true_snr_db(now), snr);
+            let snr = w.true_snr_db(id);
+            assert_eq!(w.true_snr_db(id), snr);
             // And a transmission (capacity + error probability) does not
             // perturb the cached value either.
             let _ = w.transmit_data(TerminalId(1), 1.0, 1, LinkAdaptation::Tracking);
-            assert_eq!(w.terminal_mut(id).true_snr_db(now), snr);
+            assert_eq!(w.true_snr_db(id), snr);
         });
     }
 
@@ -891,6 +1115,33 @@ mod tests {
                 w.capacity(TerminalId(0), LinkAdaptation::Announced { snr_db: -40.0 }),
                 0.0
             );
+        });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_object_getters_agree_with_index_accessors() {
+        // The one-release compatibility shims must observe the exact same
+        // state as the index accessors they forward to.
+        with_world(2, 1, 4, |mut w| {
+            for id in [TerminalId(0), TerminalId(1), TerminalId(2)] {
+                assert_eq!(w.terminal(id).class(), w.class(id));
+                assert_eq!(w.terminal(id).in_talkspurt(), w.in_talkspurt(id));
+                assert_eq!(w.terminal(id).voice_backlog(), w.voice_backlog(id));
+                assert_eq!(w.terminal(id).data_backlog(), w.data_backlog(id));
+                assert_eq!(w.terminal(id).has_backlog(), w.has_backlog(id));
+                assert_eq!(
+                    w.terminal(id).earliest_voice_deadline(),
+                    w.earliest_voice_deadline(id)
+                );
+                assert_eq!(
+                    w.terminal(id).oldest_data_arrival(),
+                    w.oldest_data_arrival(id)
+                );
+            }
+            let now = w.now;
+            let via_shim = w.terminal_mut(TerminalId(0)).true_snr_db(now);
+            assert_eq!(via_shim, w.true_snr_db(TerminalId(0)));
         });
     }
 }

@@ -176,6 +176,23 @@ impl CombinedChannel {
         self.snr_db()
     }
 
+    /// Decomposes the channel into its constituent state so a columnar store
+    /// (the core crate's `TerminalColumns`) can keep each piece in its own
+    /// parallel array.  The parts are exactly the channel's fields; rebuilding
+    /// the same behaviour requires advancing `short`/`long` with draws from
+    /// `rng` in that order (short first, then long — the order `advance_to`
+    /// uses) and tracking `now` alongside.
+    pub fn into_parts(self) -> ChannelParts {
+        ChannelParts {
+            config: self.config,
+            mobility: self.mobility,
+            short: self.short,
+            long: self.long,
+            rng: self.rng,
+            now: self.now,
+        }
+    }
+
     /// Generates a fading trace sampled every `step` for `n` samples starting
     /// at the current time.  Returns `(time, short_term_db, long_term_db,
     /// combined_snr_db)` rows; used by the Fig. 5 reproduction.
@@ -190,6 +207,32 @@ impl CombinedChannel {
         }
         rows
     }
+}
+
+/// The decomposed state of a [`CombinedChannel`] (see
+/// [`CombinedChannel::into_parts`]).  Field invariants:
+///
+/// * `short` was seeded *before* `long` from `rng` (two standard normals,
+///   then one), and subsequent AR(1) steps must keep drawing short-then-long
+///   from the same `rng` to reproduce the channel's sample path.
+/// * `now` is the simulation time the fading state refers to; steps advance
+///   it monotonically.
+/// * `config.mean_snr_db` is the operating point added on top of the fading
+///   gain when the SNR is sampled.
+#[derive(Debug, Clone)]
+pub struct ChannelParts {
+    /// Channel configuration (mean SNR operating point + shadowing params).
+    pub config: ChannelConfig,
+    /// The terminal's mobility parameters (speed, Doppler).
+    pub mobility: Mobility,
+    /// Short-term Rayleigh fading process.
+    pub short: ShortTermFading,
+    /// Long-term log-normal shadowing process.
+    pub long: LongTermShadowing,
+    /// The channel's dedicated innovation stream.
+    pub rng: Xoshiro256StarStar,
+    /// Simulation time the fading state refers to.
+    pub now: SimTime,
 }
 
 #[cfg(test)]

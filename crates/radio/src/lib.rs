@@ -47,7 +47,7 @@ pub mod fading;
 pub mod mobility;
 pub mod pathloss;
 
-pub use channel::{ChannelConfig, ChannelMode, CombinedChannel};
+pub use channel::{ChannelConfig, ChannelMode, ChannelParts, CombinedChannel};
 pub use csi::{CsiEstimate, CsiEstimator, CsiEstimatorConfig};
 pub use fading::{LongTermShadowing, ShadowingConfig, ShortTermFading};
 pub use mobility::{

@@ -21,9 +21,15 @@ pub struct VoicePacket {
 }
 
 /// Deadline-aware buffer for voice packets.
+///
+/// The earliest queued deadline is cached inline so the per-frame sweeps
+/// (deadline expiry, reservation-renewal scans) answer from the buffer
+/// struct itself without touching the queue's heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct VoiceBuffer {
     queue: VecDeque<VoicePacket>,
+    /// Invariant: `min(queue.deadline)`, `None` when empty.
+    earliest: Option<SimTime>,
 }
 
 impl VoiceBuffer {
@@ -31,6 +37,7 @@ impl VoiceBuffer {
     pub fn new() -> Self {
         VoiceBuffer {
             queue: VecDeque::new(),
+            earliest: None,
         }
     }
 
@@ -44,28 +51,48 @@ impl VoiceBuffer {
         self.queue.is_empty()
     }
 
+    fn recompute_earliest(&mut self) {
+        self.earliest = self.queue.iter().map(|p| p.deadline).min();
+    }
+
     /// Enqueues a freshly generated packet.
     pub fn push(&mut self, packet: VoicePacket) {
         debug_assert!(packet.deadline >= packet.generated_at);
+        self.earliest = Some(match self.earliest {
+            Some(d) => d.min(packet.deadline),
+            None => packet.deadline,
+        });
         self.queue.push_back(packet);
     }
 
     /// Drops every queued packet whose deadline is at or before `now` and
     /// returns how many were dropped.
     pub fn drop_expired(&mut self, now: SimTime) -> usize {
+        match self.earliest {
+            // Fast path: nothing can be expired, no queue traversal.
+            Some(d) if d <= now => {}
+            _ => return 0,
+        }
         let before = self.queue.len();
         self.queue.retain(|p| p.deadline > now);
+        self.recompute_earliest();
         before - self.queue.len()
     }
 
     /// The earliest deadline among queued packets, if any.
     pub fn earliest_deadline(&self) -> Option<SimTime> {
-        self.queue.iter().map(|p| p.deadline).min()
+        self.earliest
     }
 
     /// Removes and returns the head-of-line packet (oldest first).
     pub fn pop(&mut self) -> Option<VoicePacket> {
-        self.queue.pop_front()
+        let popped = self.queue.pop_front();
+        if let Some(p) = popped {
+            if Some(p.deadline) == self.earliest {
+                self.recompute_earliest();
+            }
+        }
+        popped
     }
 
     /// Peeks at the head-of-line packet.
@@ -77,6 +104,7 @@ impl VoiceBuffer {
     /// terminals that are dormant until a load-ramp activation frame).
     pub fn clear(&mut self) {
         self.queue.clear();
+        self.earliest = None;
     }
 }
 

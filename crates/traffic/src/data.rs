@@ -90,13 +90,15 @@ impl DataSource {
     /// Advances the source across the boundary that starts frame
     /// `frame_index`; returns the number of packets arriving there (possibly
     /// from more than one burst if inter-arrival gaps round to the same
-    /// frame).  Frames must be visited in order, exactly once each.
+    /// frame).  Frames must be visited in ascending order; frames strictly
+    /// before [`Self::next_event_frame`] may be skipped — the call is a pure
+    /// no-op there (no state change, no draw), so skipping changes nothing.
     pub fn on_frame_start(&mut self, frame_index: u64) -> u32 {
-        assert_eq!(
-            frame_index, self.next_frame,
-            "data source must be driven one frame at a time, in order"
+        assert!(
+            frame_index >= self.next_frame,
+            "data source must be driven forward in frame order"
         );
-        self.next_frame += 1;
+        self.next_frame = frame_index + 1;
 
         let mut arrived = 0u32;
         while frame_index >= self.next_burst_frame {
@@ -105,6 +107,13 @@ impl DataSource {
             self.next_burst_frame += gap;
         }
         arrived
+    }
+
+    /// The next frame index at which [`Self::on_frame_start`] does anything
+    /// (the next burst arrival).  Calls on earlier frames are no-ops and may
+    /// be skipped.
+    pub fn next_event_frame(&self) -> u64 {
+        self.next_burst_frame
     }
 }
 
@@ -188,11 +197,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one frame at a time")]
+    #[should_panic(expected = "forward in frame order")]
     fn frames_must_be_visited_in_order() {
         let mut s = src(5);
         s.on_frame_start(0);
         s.on_frame_start(0);
+    }
+
+    #[test]
+    fn skipping_noop_frames_matches_visiting_every_frame() {
+        // Jumping straight to `next_event_frame` must produce the same bursts
+        // from the same draws as stepping every frame.
+        let mut dense = src(16);
+        let mut sparse = src(16);
+        let mut k = 0u64;
+        while k < 2_000_000 {
+            let next = sparse.next_event_frame().max(k);
+            let mut dense_burst = 0;
+            for j in k..=next {
+                let n = dense.on_frame_start(j);
+                if j < next {
+                    assert_eq!(n, 0, "frame {j} must be a no-op");
+                } else {
+                    dense_burst = n;
+                }
+            }
+            let sparse_burst = sparse.on_frame_start(next);
+            assert_eq!(sparse_burst, dense_burst, "burst at {next}");
+            assert_eq!(sparse.next_event_frame(), dense.next_event_frame());
+            k = next + 1;
+        }
     }
 
     #[test]

@@ -137,13 +137,15 @@ impl VoiceSource {
 
     /// Advances the source across the boundary that starts frame
     /// `frame_index` and reports what happened.  Frames must be visited in
-    /// order, exactly once each.
+    /// ascending order; frames strictly before [`Self::next_event_frame`] may
+    /// be skipped — the call is a pure no-op there (no state change, no
+    /// draw), so skipping changes nothing.
     pub fn on_frame_start(&mut self, frame_index: u64) -> VoiceActivity {
-        assert_eq!(
-            frame_index, self.next_frame,
-            "voice source must be driven one frame at a time, in order"
+        assert!(
+            frame_index >= self.next_frame,
+            "voice source must be driven forward in frame order"
         );
-        self.next_frame += 1;
+        self.next_frame = frame_index + 1;
 
         let mut activity = VoiceActivity::default();
 
@@ -183,6 +185,20 @@ impl VoiceSource {
         }
 
         activity
+    }
+
+    /// The next frame index at which [`Self::on_frame_start`] does anything:
+    /// the earlier of the pending state transition and (while talking) the
+    /// next packet generation.  Calls on earlier frames are no-ops and may be
+    /// skipped.
+    pub fn next_event_frame(&self) -> u64 {
+        match self.state {
+            State::Talkspurt {
+                until_frame,
+                next_packet_frame,
+            } => until_frame.min(next_packet_frame),
+            State::Silence { until_frame } => until_frame,
+        }
     }
 
     /// The absolute deadline for a packet generated at the start of
@@ -307,11 +323,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one frame at a time")]
-    fn skipping_frames_is_rejected() {
+    #[should_panic(expected = "forward in frame order")]
+    fn revisiting_a_frame_is_rejected() {
         let mut s = source(6);
         s.on_frame_start(0);
-        s.on_frame_start(2);
+        s.on_frame_start(0);
+    }
+
+    #[test]
+    fn skipping_noop_frames_matches_visiting_every_frame() {
+        // Jumping straight to `next_event_frame` must leave the source in the
+        // same state (same draws, same activity) as stepping every frame.
+        let mut dense = source(16);
+        let mut sparse = source(16);
+        let mut k = 0u64;
+        while k < 20_000 {
+            let next = sparse.next_event_frame().max(k);
+            for j in k..=next {
+                let a = dense.on_frame_start(j);
+                if j < next {
+                    assert_eq!(a, VoiceActivity::default(), "frame {j} must be a no-op");
+                }
+            }
+            let _ = sparse.on_frame_start(next);
+            assert_eq!(dense.is_talking(), sparse.is_talking());
+            assert_eq!(dense.next_event_frame(), sparse.next_event_frame());
+            k = next + 1;
+        }
     }
 
     #[test]

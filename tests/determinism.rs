@@ -359,6 +359,62 @@ fn sharded_frames_never_lose_or_duplicate_terminals() {
     );
 }
 
+/// Compares `bytes` against the committed golden file `tests/golden/<name>`,
+/// or rewrites the file when `CHARISMA_UPDATE_GOLDEN` is set.
+///
+/// The golden files were captured from the pre-SoA (PR 8) AoS frame core;
+/// they pin the exact report bytes of the fig11 / multicell_baseline /
+/// city_scale miniatures so any layout refactor that perturbs a single RNG
+/// draw or float operation fails loudly rather than drifting silently.
+fn golden_check(name: &str, bytes: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("CHARISMA_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        bytes, expected,
+        "{name}: report bytes diverged from the pre-refactor golden capture"
+    );
+}
+
+#[test]
+fn golden_bytes_fig11_miniature() {
+    let csv = mini_fig11().run(mini_budget(), 1).unwrap().to_csv();
+    golden_check("fig11_quick.csv", &csv);
+}
+
+#[test]
+fn golden_bytes_multicell_miniature_at_1_and_4_threads() {
+    for threads in [1u32, 4] {
+        let csv = with_system_threads(mini_multicell(), threads)
+            .run(mini_budget(), 1)
+            .unwrap()
+            .to_csv();
+        golden_check("multicell_baseline_quick.csv", &csv);
+    }
+}
+
+#[test]
+fn golden_bytes_city_scale_miniature_at_1_and_4_threads() {
+    let budget = FrameBudget {
+        warmup: 60,
+        measured: 240,
+    };
+    for threads in [1u32, 4] {
+        let csv = with_system_threads(mini_city(), threads)
+            .run(budget, 1)
+            .unwrap()
+            .to_csv();
+        golden_check("city_scale_quick.csv", &csv);
+    }
+}
+
 #[test]
 fn replicated_campaign_csv_bytes_are_identical_across_runs_and_threads() {
     // The replication engine on the real fig11 campaign shape: every point
